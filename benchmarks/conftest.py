@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+All benchmarks share one :class:`ExperimentContext` built from the
+``quick`` preset, so the diffusion pipeline and the GAN baseline are each
+trained exactly once per session.  Set ``REPRO_BENCH_PRESET=tiny`` for a
+fast smoke run or ``=paper`` for the paper-shaped configuration.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_context
+from repro.experiments.config import preset
+
+
+def pytest_report_header(config):
+    name = os.environ.get("REPRO_BENCH_PRESET", "quick")
+    return f"repro benchmark preset: {name}"
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    name = os.environ.get("REPRO_BENCH_PRESET", "quick")
+    return preset(name, seed=0)
+
+
+@pytest.fixture(scope="session")
+def ctx(bench_config):
+    return get_context(bench_config)
+
+
+@pytest.fixture(scope="session")
+def trained_ctx(ctx):
+    """Context with both generators already trained (amortised)."""
+    ctx.pipeline  # noqa: B018 - triggers training
+    ctx.netshare
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def output_dir():
+    path = Path(__file__).resolve().parent.parent / "experiment_outputs"
+    path.mkdir(exist_ok=True)
+    return path

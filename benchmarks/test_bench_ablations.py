@@ -1,0 +1,70 @@
+"""Benchmarks E-X2, E-A1, E-A2: the ablation studies.
+
+* E-X2 — per-class GAN ablation (§2.3 supplemental, paper: ~0.20 micro).
+* E-A1 — control guidance ablation behind Fig. 2's compliance.
+* E-A2 — LoRA vs full fine-tune for class addition.
+"""
+
+from repro.experiments.ablations import (
+    run_control_ablation,
+    run_guidance_sweep,
+    run_lora_ablation,
+    run_per_class_gan,
+)
+
+
+def test_per_class_gan_ablation(bench_config, trained_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_per_class_gan(bench_config), rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # Per-class GANs fix the label marginal but the paper reports only a
+    # "negligible improvement" in transfer accuracy: still far below the
+    # real/real ceiling at the micro level.
+    assert result.micro_accuracy < 0.6
+
+
+def test_control_guidance_ablation(bench_config, trained_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_control_ablation(bench_config, n_per_class=10),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # Hard structure guidance guarantees compliance; soft/none degrade.
+    assert result.value("controlnet+hard") >= result.value("none")
+    assert result.value("controlnet+hard") >= 0.95
+
+
+def test_guidance_weight_sweep(bench_config, trained_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_guidance_sweep(bench_config, per_class=6),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    by_weight = {r.weight: r for r in result.rows}
+    # Conditioning must help: some positive guidance beats unconditional
+    # sampling on class transfer.
+    best_guided = max(r.transfer_accuracy for r in result.rows
+                      if r.weight > 0)
+    assert best_guided >= by_weight[0.0].transfer_accuracy
+    # Fidelity stays reasonable across the sweep.
+    assert all(r.fidelity > 0.5 for r in result.rows)
+
+
+def test_lora_vs_full_finetune(bench_config, trained_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_lora_ablation(bench_config, steps=200),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # LoRA trains far fewer parameters and provably leaves the base
+    # weights untouched.
+    assert result.lora_trainable < result.full_trainable
+    assert result.lora_base_drift == 0.0
+    assert result.full_base_drift > 0.0
+    # The adapter still learns the new class to a usable fidelity.
+    assert result.lora_fidelity > 0.5

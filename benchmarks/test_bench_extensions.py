@@ -1,0 +1,114 @@
+"""Benchmarks E-E1..E-E3: the §4 research-agenda extension experiments.
+
+These go beyond the paper's evaluation section: they implement and
+measure the downstream tasks §4 proposes for a generative traffic model
+(deblurring, traffic-to-traffic translation, anomaly detection).
+"""
+
+import numpy as np
+
+from repro.experiments.extensions import (
+    run_anomaly_detection,
+    run_condition_transfer,
+    run_deblurring,
+    run_few_shot,
+    run_vpn_translation,
+)
+from repro.experiments.fidelity import run_fidelity
+
+
+def test_traffic_deblurring(bench_config, trained_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_deblurring(bench_config, n_flows=4),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # Restoration must beat chance by a wide margin on both fields.
+    ttl = result.row("ipv4.ttl")
+    window = result.row("tcp.window")
+    assert ttl.mean_abs_error < ttl.chance_error / 4
+    assert window.mean_abs_error < window.chance_error / 4
+
+
+def test_vpn_translation(bench_config, trained_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_vpn_translation(bench_config), rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # Translated YouTube must become tunnel-like: UDP-dominant share well
+    # above the untranslated baseline.
+    assert result.translated_flows >= 10
+    assert result.udp_dominant_fraction >= 0.7
+    assert result.udp_dominant_fraction > result.baseline_udp_fraction
+    assert result.direction_norm > 0
+
+
+def test_condition_transfer(bench_config, trained_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_condition_transfer(bench_config),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # The transferred flows must move their pacing toward the throttled
+    # ground truth: strictly slower than the unconditioned baseline, by
+    # at least a third of the true shift.
+    true_shift = result.real_conditioned_mean_gap - result.base_mean_gap
+    got_shift = result.transferred_mean_gap - result.base_mean_gap
+    assert true_shift > 0
+    assert got_shift > true_shift / 3
+
+
+def test_anomaly_detection(bench_config, trained_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_anomaly_detection(bench_config), rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # Separation is what matters; absolute rates depend on the threshold
+    # slack and on how heterogeneous the 11-class calibration pool is.
+    assert result.detection_rate >= 0.5
+    assert result.false_alarm_rate <= 0.3
+    assert result.auc >= 0.8
+    assert result.detection_rate > result.false_alarm_rate
+
+
+def test_foundation_few_shot(bench_config, trained_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_few_shot(bench_config), rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    # The §4 premise that holds: flow embeddings enable few-shot service
+    # recognition far above chance.
+    assert result.probe_pretrained > 3 * result.chance
+    assert result.probe_random > 3 * result.chance
+    # The honest negative result (documented in EXPERIMENTS.md): masked
+    # pretraining does not need to beat a random projection here — we
+    # only require it stays in the same regime.
+    assert result.probe_pretrained > result.probe_random / 3
+
+
+def test_generator_fidelity(bench_config, trained_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fidelity(bench_config), rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    ours = result.reports["ours"]
+    others = {n: r for n, r in result.reports.items() if n != "ours"}
+    # Protocol realism: only ours reproduces TCP handshake structure
+    # (all packet-level baselines emit stateless packets).
+    for name, report in others.items():
+        assert ours.value("handshake fraction") < \
+            report.value("handshake fraction"), name
+    # Per-bit marginals: ours matches the best baseline (within noise).
+    best_bits = max(r.nprint_bit_fidelity for r in others.values())
+    assert ours.nprint_bit_fidelity >= best_bits - 0.05
+    # Packet-size distribution: ours is never the worst generator (which
+    # generator is *best* on this axis flips with preset scale — see
+    # EXPERIMENTS.md for the full table).
+    worst_sizes = max(r.value("packet sizes") for r in others.values())
+    assert ours.value("packet sizes") <= worst_sizes

@@ -1,0 +1,41 @@
+"""Benchmark E-F2: regenerate Figure 2 (protocol-compliant trace images).
+
+Measures per-class dominant-protocol compliance of generated flows and
+renders the Figure-2-style nprint images (saved to experiment_outputs/).
+The benchmarked unit is class-conditional generation of one flow batch.
+"""
+
+import numpy as np
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_figure2_compliance_and_images(bench_config, trained_ctx, benchmark,
+                                       output_dir):
+    pipeline = trained_ctx.pipeline
+
+    benchmark.pedantic(
+        lambda: pipeline.generate("amazon", 8,
+                                  rng=np.random.default_rng(0)),
+        rounds=2, iterations=1,
+    )
+
+    result = run_figure2(bench_config, output_dir=output_dir,
+                         image_classes=("amazon", "teams"))
+    print()
+    print(result.render())
+    for label, path in result.image_paths.items():
+        print(f"  image [{label}]: {path}")
+
+    by_label = {r.label: r for r in result.rows}
+    # Fig. 2's claim, quantified: single-protocol applications comply.
+    for label in ("amazon", "netflix", "twitch", "facebook", "twitter",
+                  "instagram", "teams", "zoom"):
+        assert by_label[label].synthetic_compliance >= 0.9, label
+    # The rendered Amazon image exists and holds only the three colors.
+    if "amazon" in result.image_paths:
+        from repro.imaging.png import read_png
+        from repro.imaging.colormap import rgb_to_ternary
+        img = read_png(result.image_paths["amazon"])
+        ternary = rgb_to_ternary(img)
+        assert set(np.unique(ternary)) <= {-1, 0, 1}

@@ -1,0 +1,42 @@
+"""Benchmark E-X4: replayability through stateful network functions.
+
+Replays real / ours / NetShare / DoppelGANger traces through the NF chain
+and checks the ordering the paper's argument predicts.  The benchmarked
+unit is the replay engine itself on real packets.
+"""
+
+from repro.experiments.replay_exp import run_replay
+from repro.net.replay import ReplayEngine
+
+
+def test_replayability(bench_config, trained_ctx, benchmark):
+    real_packets = [
+        p for f in trained_ctx.test_flows[:30] for p in f.packets
+    ]
+    report = benchmark.pedantic(
+        lambda: ReplayEngine().replay(real_packets),
+        rounds=3, iterations=1,
+    )
+    assert report.compliance == 1.0
+
+    result = run_replay(bench_config, flows_per_source=25)
+    print()
+    print(result.render())
+
+    real = result.row("real")
+    ours = result.row("ours")
+    repaired = result.row("ours+state-repair")
+    netshare = result.row("netshare-gan")
+    # Real traces are the clean reference.
+    assert real.compliance == 1.0
+    # GAN NetFlow reconstructions carry no protocol state; replay flags
+    # them heavily (the §2.3 "cannot be reliably replayed" claim).
+    assert netshare.compliance < real.compliance
+    # Raw generated flows expose §4's open challenge: cross-packet
+    # sequence state is not learned at this scale.
+    assert ours.compliance < 1.0
+    # With the state-repair extension they replay essentially cleanly,
+    # beating every GAN-derived trace.
+    assert repaired.compliance >= 0.95
+    assert repaired.compliance > netshare.compliance
+    assert repaired.compliance > ours.compliance

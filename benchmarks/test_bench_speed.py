@@ -1,0 +1,33 @@
+"""Benchmark E-X3: generative speed (§4 open challenge).
+
+Sweeps the sampler budget (full DDPM vs strided DDIM) and reports flows/s
+together with a marginal-bit-fidelity proxy — the speed/quality trade-off
+the paper identifies.  Also benchmarks the raw DDIM latent sampler.
+"""
+
+import numpy as np
+
+from repro.experiments.speed import run_speed
+
+
+def test_generation_speed_sweep(bench_config, trained_ctx, benchmark):
+    pipeline = trained_ctx.pipeline
+
+    benchmark.pedantic(
+        lambda: pipeline.sample_latents(
+            "netflix", 16, steps=20, rng=np.random.default_rng(1)),
+        rounds=3, iterations=1,
+    )
+
+    result = run_speed(bench_config, n_flows=12,
+                       ddim_steps=(50, 20, 5), include_full_ddpm=True)
+    print()
+    print(result.render())
+
+    ddpm = result.rows[0]
+    fastest = result.rows[-1]
+    # Fewer steps must buy throughput (the §4 trade-off)...
+    assert fastest.flows_per_second > ddpm.flows_per_second
+    # ...at a bounded fidelity cost at this scale.
+    assert fastest.fidelity > 0.5
+    assert ddpm.fidelity > 0.7

@@ -1,0 +1,33 @@
+"""Benchmark E-T1: regenerate Table 1 (dataset composition).
+
+Benchmarks the stateful workload generator (flows/second of protocol-
+correct traffic) and prints the paper-vs-measured composition table.
+"""
+
+from repro.experiments.table1 import run_table1
+from repro.traffic.dataset import build_service_recognition_dataset
+from repro.traffic.profiles import macro_counts, table1_counts
+
+
+def test_table1_composition(bench_config, ctx, benchmark):
+    """Dataset generation speed + Table 1 reproduction."""
+    result = benchmark.pedantic(
+        lambda: build_service_recognition_dataset(scale=0.004, seed=1),
+        rounds=3, iterations=1,
+    )
+    # The benchmarked build is a small probe; the report below uses the
+    # shared context's dataset at the configured scale.
+    table = run_table1(bench_config)
+    print()
+    print(table.render())
+
+    paper = table1_counts()
+    assert table.total_paper == 23487
+    assert macro_counts()["video-streaming"] == 9465
+    # Composition must preserve the published ranking exactly.
+    ranking_paper = sorted(paper, key=paper.get, reverse=True)
+    measured = {r.micro_label: r.flows_measured for r in table.rows}
+    assert max(measured, key=measured.get) == ranking_paper[0]
+    assert min(measured, key=measured.get) == ranking_paper[-1]
+    from repro.traffic.dataset import scaled_counts
+    assert len(result) == sum(scaled_counts(0.004).values())

@@ -1,0 +1,54 @@
+"""Anomaly detection with the generative model (§4, task 4).
+
+The fitted pipeline doubles as an anomaly detector: flows the codec can
+explain score low; traffic it has never seen scores high.  This example
+fits on two applications, calibrates on held-out clean flows, and then
+scores (a) clean traffic, (b) an application the model never saw, and
+(c) VPN-tunnelled traffic.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro.core import AnomalyScorer, PipelineConfig, TextToTrafficPipeline
+from repro.traffic import generate_app_flows, vpn_dataset
+
+
+def show(name, scores, threshold):
+    flagged = (scores > threshold).sum()
+    print(f"  {name:<28} median score {np.median(scores):8.2f}   "
+          f"flagged {flagged}/{len(scores)}")
+
+
+def main() -> None:
+    print("fitting on {netflix, teams} ...")
+    train = []
+    for app in ("netflix", "teams"):
+        train.extend(generate_app_flows(app, 20, seed=71))
+    pipeline = TextToTrafficPipeline(PipelineConfig(
+        max_packets=12, latent_dim=32, hidden=96, blocks=3,
+        timesteps=150, train_steps=300, controlnet_steps=100,
+        ddim_steps=12, seed=9,
+    )).fit(train)
+
+    # Calibrate on *held-out* clean traffic — never the fine-tuning set
+    # (the codec memorises its training flows).
+    calibration = (generate_app_flows("netflix", 15, seed=101)
+                   + generate_app_flows("teams", 15, seed=102))
+    scorer = AnomalyScorer(pipeline)
+    threshold = scorer.fit_threshold(calibration, quantile=0.95)
+    print(f"calibrated threshold: {threshold:.2f}\n")
+
+    clean = generate_app_flows("netflix", 10, seed=72)
+    unseen_app = generate_app_flows("zoom", 10, seed=77)
+    tunnelled = vpn_dataset(generate_app_flows("other", 10, seed=73))
+
+    print("scores (higher = more anomalous):")
+    show("clean netflix (in-dist)", scorer.score(clean), threshold)
+    show("zoom (unseen application)", scorer.score(unseen_app), threshold)
+    show("VPN-tunnelled IoT traffic", scorer.score(tunnelled), threshold)
+
+
+if __name__ == "__main__":
+    main()

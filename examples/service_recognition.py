@@ -1,0 +1,42 @@
+"""Service recognition with synthetic data (the paper's case study).
+
+Reproduces the §3.2 pilot analysis end to end at small scale:
+
+* train a Random Forest on real nprint bits, test on real data (ceiling);
+* train on real, test on *our* synthetic data, and vice versa;
+* do the same with the NetShare-style GAN over NetFlow features;
+* print the Table-2-shaped comparison.
+
+Run:  python examples/service_recognition.py          (~2-4 minutes)
+      python examples/service_recognition.py --fast   (seconds, coarser)
+"""
+
+import argparse
+
+from repro.experiments import run_table2, tiny, quick
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="tiny preset (seconds) instead of quick")
+    args = parser.parse_args()
+
+    config = tiny(seed=0) if args.fast else quick(seed=0)
+    print(f"running the Table 2 scenarios with the {config.name!r} preset")
+    print("(training the diffusion pipeline + GAN baseline on first use)\n")
+    result = run_table2(config)
+    print(result.render())
+
+    ours = result.row("real/synthetic", "ours")
+    gan = result.row("real/synthetic", "gan")
+    print(
+        "\nShape check (paper's claim): models trained on real data score "
+        f"{ours.micro_measured:.2f} micro accuracy on our synthetic flows "
+        f"vs {gan.micro_measured:.2f} on GAN NetFlow records — "
+        f"{'reproduced' if ours.micro_measured > gan.micro_measured else 'NOT reproduced'}."
+    )
+
+
+if __name__ == "__main__":
+    main()

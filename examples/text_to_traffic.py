@@ -1,0 +1,61 @@
+"""Text-to-traffic with coverage extension: add a class to a frozen model.
+
+Demonstrates the paper's tier-2 mechanism (§3.1): the base diffusion model
+is fine-tuned once, then a *new* traffic class is added with LoRA adapters
+and a freshly minted prompt token — without touching base weights.
+
+Run:  python examples/text_to_traffic.py
+"""
+
+import numpy as np
+
+from repro.core import PipelineConfig, TextToTrafficPipeline
+from repro.core.lora import lora_parameters
+from repro.traffic import generate_app_flows
+
+
+def main() -> None:
+    print("pretraining the base model on {netflix, teams} ...")
+    base_flows = []
+    for app in ("netflix", "teams"):
+        base_flows.extend(generate_app_flows(app, 25, seed=31))
+    pipeline = TextToTrafficPipeline(PipelineConfig(
+        max_packets=16, latent_dim=48, hidden=128, blocks=3,
+        timesteps=200, train_steps=600, controlnet_steps=150,
+        ddim_steps=20, seed=4,
+    )).fit(base_flows)
+    print(f"  classes: {pipeline.codebook.classes}")
+    base_total = sum(
+        p.size for _, p in pipeline.denoiser.named_parameters()
+    )
+    print(f"  denoiser parameters: {base_total:,}")
+
+    print("\nadding class 'zoom' via LoRA (base weights frozen) ...")
+    base_weights = {
+        name: p.data.copy()
+        for name, p in pipeline.denoiser.named_parameters()
+    }
+    new_flows = generate_app_flows("zoom", 20, seed=33)
+    pipeline.add_class("zoom", new_flows, rank=4, steps=300)
+    n_lora = sum(p.size for p in lora_parameters(pipeline.denoiser))
+    drift = sum(
+        float(np.abs(p.data - base_weights[name]).max())
+        for name, p in pipeline.denoiser.named_parameters()
+        if name in base_weights
+    )
+    print(f"  new prompt: {pipeline.codebook.prompt_for('zoom')!r}")
+    print(f"  trainable LoRA parameters: {n_lora:,} "
+          f"({100 * n_lora / base_total:.1f}% of base)")
+    print(f"  max drift of any base weight: {drift:.2e} (exactly 0 = frozen)")
+
+    print("\ngenerating from all three prompts ...")
+    for name in pipeline.codebook.classes:
+        flows = pipeline.generate(name, 5, rng=np.random.default_rng(9))
+        protos = sorted({f.dominant_protocol for f in flows if len(f)})
+        print(f"  {pipeline.codebook.prompt_for(name)!r:<22} -> "
+              f"{sum(len(f) for f in flows)} packets, "
+              f"dominant protocol(s) {protos}")
+
+
+if __name__ == "__main__":
+    main()

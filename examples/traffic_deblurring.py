@@ -1,0 +1,72 @@
+"""Traffic deblurring: restore corrupted header fields (§4 downstream task).
+
+The paper's research agenda lists "traffic deblurring — the restoration
+of missing header fields or corrupted parts within network traffic" as a
+downstream task a generative traffic model enables.  This example:
+
+1. fine-tunes the pipeline on real flows,
+2. blanks the TTL and TCP-window fields of a held-out flow (as a
+   middlebox or anonymiser might),
+3. restores them with diffusion inpainting,
+4. compares the restored field values against the originals.
+
+Run:  python examples/traffic_deblurring.py
+"""
+
+import numpy as np
+
+from repro.core import PipelineConfig, TextToTrafficPipeline, TrafficDeblurrer
+from repro.core.inpaint import field_mask
+from repro.nprint import encode_flow, interarrival_channel, read_field
+from repro.traffic import generate_app_flows
+
+FIELDS_TO_BLANK = ["ipv4.ttl", "tcp.window"]
+
+
+def main() -> None:
+    print("fine-tuning on {netflix, amazon} ...")
+    train = []
+    for app in ("netflix", "amazon"):
+        train.extend(generate_app_flows(app, 25, seed=41))
+    pipeline = TextToTrafficPipeline(PipelineConfig(
+        max_packets=12, latent_dim=48, hidden=128, blocks=3,
+        timesteps=200, train_steps=600, controlnet_steps=150,
+        ddim_steps=20, seed=6,
+    )).fit(train)
+
+    # A held-out flow the model never saw.
+    victim = generate_app_flows("netflix", 1, seed=999)[0]
+    matrix = encode_flow(victim, pipeline.config.max_packets)
+    gaps = interarrival_channel(victim, pipeline.config.max_packets)
+    packet_rows = [i for i, row in enumerate(matrix) if (row != -1).any()]
+
+    true_values = {
+        name: [read_field(matrix[i], name) for i in packet_rows]
+        for name in FIELDS_TO_BLANK
+    }
+    print(f"\nblanking {FIELDS_TO_BLANK} in a held-out netflix flow "
+          f"({len(packet_rows)} packets)")
+
+    corrupted = matrix.copy()
+    missing = field_mask(FIELDS_TO_BLANK, pipeline.config.max_packets)
+    corrupted[missing] = -1  # vacant = "field unknown"
+
+    deblurrer = TrafficDeblurrer(pipeline)
+    result = deblurrer.deblur(
+        corrupted, missing, "netflix", gaps=gaps,
+        rng=np.random.default_rng(0),
+    )
+
+    print("\nfield restoration (first 5 packets):")
+    for name in FIELDS_TO_BLANK:
+        restored = [read_field(result.matrix[i], name) for i in packet_rows]
+        errors = [abs(a - b) for a, b in zip(restored, true_values[name])]
+        width = 2 ** 8 if name.endswith("ttl") else 2 ** 16
+        print(f"  {name:<12} true {true_values[name][:5]} "
+              f"restored {restored[:5]}")
+        print(f"  {'':<12} mean abs error {np.mean(errors):.1f} "
+              f"(chance ~ {width // 3})")
+
+
+if __name__ == "__main__":
+    main()

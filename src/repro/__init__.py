@@ -1,0 +1,23 @@
+"""repro — Generative, high-fidelity network traces.
+
+A from-scratch reproduction of "Generative, High-Fidelity Network Traces"
+(Jiang, Liu, Gember-Jacobson, Schmitt, Bronzino, Feamster — HotNets 2023):
+a controllable, diffusion-based text-to-traffic synthesis pipeline operating
+on the nprint bit-level representation of raw packet captures, evaluated on
+an 11-application service-recognition task against GAN baselines.
+
+Subpackages
+-----------
+``repro.net``         packet headers, flows, pcap I/O, replay engine
+``repro.nprint``      1088-bit-per-packet nprint encoder/decoder
+``repro.imaging``     ternary image representation + PNG codec
+``repro.traffic``     stateful per-application workload generator (dataset)
+``repro.ml``          NumPy NN framework, random forest, metrics, features
+``repro.core``        the diffusion text-to-traffic pipeline (the paper)
+``repro.baselines``   NetShare-style GAN, DoppelGANger, HMM comparators
+``repro.experiments`` harness regenerating every table and figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,22 @@
+"""Comparator generators: NetShare-style GAN, DoppelGANger, HMM.
+
+These implement the status-quo approaches §2 of the paper critiques, with
+their real architectural limitations (label-as-feature, Gaussian latents,
+no protocol state) so the evaluation measures — rather than hard-codes —
+the failure modes the paper reports.
+"""
+
+from repro.baselines.doppelganger import DoppelGANgerSynthesizer
+from repro.baselines.gan import GAN, GANConfig
+from repro.baselines.hmm import DiscreteHMM, HMMTrafficGenerator
+from repro.baselines.netshare import NetShareSynthesizer, PerClassNetShare
+
+__all__ = [
+    "GAN",
+    "GANConfig",
+    "NetShareSynthesizer",
+    "PerClassNetShare",
+    "DoppelGANgerSynthesizer",
+    "DiscreteHMM",
+    "HMMTrafficGenerator",
+]

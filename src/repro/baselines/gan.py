@@ -1,0 +1,129 @@
+"""Generic GAN machinery (generator/discriminator + adversarial training).
+
+The substrate under the NetShare-style and DoppelGANger-style baselines.
+Deliberately faithful to the architecture the paper critiques: a Gaussian
+latent prior ("the distribution learnt by these generators often conform
+to certain assumptions (e.g., normal/Gaussian distribution), which is
+often not the case in network traffic", §2.3) and non-saturating BCE
+losses with alternating updates — including their classic instabilities
+(mode collapse / mode dropping), which the evaluation *measures* rather
+than hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.nn import (
+    Adam,
+    LeakyReLU,
+    Module,
+    Sequential,
+    Tanh,
+    Tensor,
+    bce_with_logits,
+    mlp,
+)
+
+
+@dataclass
+class GANConfig:
+    """Capacity and training knobs for one adversarial pair."""
+
+    latent_dim: int = 16
+    hidden: int = 64
+    layers: int = 2
+    steps: int = 1200
+    batch_size: int = 64
+    lr_generator: float = 2e-4
+    lr_discriminator: float = 2e-4
+    seed: int = 0
+
+
+class GAN:
+    """A plain MLP GAN over fixed-width real-valued feature vectors.
+
+    ``fit`` standardises the data internally; ``sample`` returns vectors
+    in the original feature units.
+    """
+
+    def __init__(self, config: GANConfig | None = None):
+        self.config = config or GANConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.generator: Sequential | None = None
+        self.discriminator: Sequential | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self.history: list[tuple[float, float]] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.generator is not None
+
+    def _build(self, dim: int) -> None:
+        cfg = self.config
+        g_sizes = [cfg.latent_dim] + [cfg.hidden] * cfg.layers + [dim]
+        d_sizes = [dim] + [cfg.hidden] * cfg.layers + [1]
+        self.generator = mlp(g_sizes, activation=LeakyReLU,
+                             final_activation=Tanh, rng=self._rng)
+        self.discriminator = mlp(d_sizes, activation=LeakyReLU, rng=self._rng)
+
+    def fit(self, X: np.ndarray, verbose: bool = False) -> "GAN":
+        """Adversarial training on ``(n, d)`` feature vectors."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or len(X) < 2:
+            raise ValueError("X must be (n >= 2, d)")
+        cfg = self.config
+        self._mean = X.mean(axis=0)
+        self._std = X.std(axis=0) + 1e-6
+        # Tanh output head -> squash standardised data into (-1, 1).
+        Xn = np.tanh((X - self._mean) / (3.0 * self._std))
+        self._build(X.shape[1])
+        g_opt = Adam(self.generator.parameters(), lr=cfg.lr_generator,
+                     betas=(0.5, 0.999))
+        d_opt = Adam(self.discriminator.parameters(), lr=cfg.lr_discriminator,
+                     betas=(0.5, 0.999))
+        n = len(Xn)
+        ones = np.ones((cfg.batch_size, 1))
+        zeros = np.zeros((cfg.batch_size, 1))
+        for step in range(cfg.steps):
+            # -- discriminator update
+            idx = self._rng.integers(0, n, size=cfg.batch_size)
+            real = Tensor(Xn[idx])
+            z = Tensor(self._rng.standard_normal(
+                (cfg.batch_size, cfg.latent_dim)))
+            fake = self.generator(z)
+            d_loss = bce_with_logits(self.discriminator(real), ones) \
+                + bce_with_logits(self.discriminator(fake.detach()), zeros)
+            d_opt.zero_grad()
+            d_loss.backward()
+            d_opt.step()
+            # -- generator update (non-saturating)
+            z = Tensor(self._rng.standard_normal(
+                (cfg.batch_size, cfg.latent_dim)))
+            fake = self.generator(z)
+            g_loss = bce_with_logits(self.discriminator(fake), ones)
+            g_opt.zero_grad()
+            g_loss.backward()
+            g_opt.step()
+            self.history.append((float(d_loss.data), float(g_loss.data)))
+            if verbose and (step + 1) % 300 == 0:
+                print(f"[gan] step {step + 1}: d={d_loss.data:.3f} "
+                      f"g={g_loss.data:.3f}")
+        return self
+
+    def sample(self, n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw ``n`` synthetic vectors in original feature units."""
+        if not self.is_fitted:
+            raise RuntimeError("sample before fit")
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        rng = rng or self._rng
+        z = Tensor(rng.standard_normal((n, self.config.latent_dim)))
+        out = self.generator(z).data
+        # Clip before arctanh: beyond |0.995| the unsquash explodes and a
+        # single saturated unit would produce absurd feature values.
+        out = np.clip(out, -0.995, 0.995)
+        return np.arctanh(out) * (3.0 * self._std) + self._mean

@@ -1,0 +1,216 @@
+"""Command-line interface for the library.
+
+Subcommands::
+
+    python -m repro.cli dataset  --scale 0.01 --out real.pcap
+    python -m repro.cli fit      --in real.pcap --model model.npz
+    python -m repro.cli generate --model model.npz --class netflix -n 20 \
+                                 --out synthetic.pcap
+    python -m repro.cli render   --in synthetic.pcap --out flow.png
+    python -m repro.cli stats    --in synthetic.pcap
+    python -m repro.cli replay   --in synthetic.pcap
+
+``dataset`` writes labelled flows from the workload generator (labels are
+stored in a sidecar ``.labels`` file, one ``start_time label`` line per
+flow, since pcap itself carries no labels).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.net.pcap import write_pcap
+    from repro.traffic.dataset import build_service_recognition_dataset
+
+    dataset = build_service_recognition_dataset(scale=args.scale,
+                                                seed=args.seed)
+    packets = sorted(
+        (p for f in dataset.flows for p in f.packets),
+        key=lambda p: p.timestamp,
+    )
+    n = write_pcap(args.out, packets)
+    labels_path = Path(args.out).with_suffix(".labels")
+    with open(labels_path, "w") as f:
+        for flow in dataset.flows:
+            f.write(f"{flow.start_time:.6f} {flow.label}\n")
+    print(f"wrote {n} packets ({len(dataset.flows)} flows) to {args.out}")
+    print(f"labels sidecar: {labels_path}")
+    return 0
+
+
+def _load_labelled_flows(path: str):
+    from repro.net.flow import assemble_flows
+    from repro.net.pcap import read_pcap
+
+    flows = assemble_flows(read_pcap(path))
+    labels_path = Path(path).with_suffix(".labels")
+    if labels_path.exists():
+        table = {}
+        with open(labels_path) as f:
+            for line in f:
+                start, label = line.split()
+                table[round(float(start), 6)] = label
+        for flow in flows:
+            flow.label = table.get(round(flow.start_time, 6), "")
+        flows = [f for f in flows if f.label]
+    return flows
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
+    from repro.core.serialization import save_pipeline
+
+    flows = _load_labelled_flows(args.infile)
+    if not flows:
+        print("no labelled flows found (missing .labels sidecar?)",
+              file=sys.stderr)
+        return 1
+    config = PipelineConfig(
+        max_packets=args.max_packets,
+        train_steps=args.steps,
+        controlnet_steps=max(args.steps // 3, 50),
+        seed=args.seed,
+    )
+    pipeline = TextToTrafficPipeline(config)
+    print(f"fitting on {len(flows)} flows, "
+          f"{len(set(f.label for f in flows))} classes ...")
+    pipeline.fit(flows, verbose=True)
+    save_pipeline(pipeline, args.model)
+    print(f"saved model to {args.model}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.core.serialization import load_pipeline
+    from repro.net.pcap import write_pcap
+
+    pipeline = load_pipeline(args.model)
+    if args.class_name not in pipeline.codebook.classes:
+        print(f"unknown class {args.class_name!r}; model knows "
+              f"{pipeline.codebook.classes}", file=sys.stderr)
+        return 1
+    flows = pipeline.generate(
+        args.class_name, args.count,
+        state_repair=args.state_repair,
+        rng=np.random.default_rng(args.seed),
+    )
+    packets = sorted((p for f in flows for p in f.packets),
+                     key=lambda p: p.timestamp)
+    n = write_pcap(args.out, packets)
+    print(f"generated {len(flows)} {args.class_name} flows "
+          f"({n} packets) -> {args.out}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.imaging.colormap import ternary_to_rgb
+    from repro.imaging.png import write_png
+    from repro.net.flow import assemble_flows
+    from repro.net.pcap import read_pcap
+    from repro.nprint.encoder import encode_flow
+
+    flows = assemble_flows(read_pcap(args.infile))
+    if not flows:
+        print("no flows in capture", file=sys.stderr)
+        return 1
+    flow = flows[min(args.flow_index, len(flows) - 1)]
+    matrix = encode_flow(flow, args.max_packets)
+    write_png(args.out, ternary_to_rgb(matrix))
+    print(f"rendered flow {args.flow_index} ({len(flow)} packets) "
+          f"-> {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.net.flow import assemble_flows
+    from repro.net.ipaddr import ip_to_str
+    from repro.net.pcap import read_pcap
+
+    packets = read_pcap(args.infile)
+    flows = assemble_flows(packets)
+    protos: dict[int, int] = {}
+    for p in packets:
+        protos[p.ip.proto] = protos.get(p.ip.proto, 0) + 1
+    print(f"packets: {len(packets)}   flows: {len(flows)}")
+    print(f"protocols: { {k: v for k, v in sorted(protos.items())} }")
+    if flows:
+        sizes = [len(f) for f in flows]
+        print(f"packets/flow: min {min(sizes)} "
+              f"median {int(np.median(sizes))} max {max(sizes)}")
+        first = flows[0].packets[0]
+        print(f"first flow: {ip_to_str(first.ip.src_ip)} -> "
+              f"{ip_to_str(first.ip.dst_ip)} proto {first.ip.proto}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.net.pcap import read_pcap
+    from repro.net.replay import ReplayEngine
+
+    packets = read_pcap(args.infile)
+    report = ReplayEngine().replay(packets)
+    print(f"packets: {report.total_packets}   "
+          f"flagged: {report.flagged_packets}   "
+          f"compliance: {report.compliance:.3f}")
+    for nf, count in report.flags_by_nf.items():
+        print(f"  {nf}: {count}")
+    return 0 if report.compliance == 1.0 else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("dataset", help="generate the Table 1 workload")
+    p.add_argument("--scale", type=float, default=0.005)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_dataset)
+
+    p = sub.add_parser("fit", help="fine-tune the pipeline on a capture")
+    p.add_argument("--in", dest="infile", required=True)
+    p.add_argument("--model", required=True)
+    p.add_argument("--max-packets", type=int, default=16)
+    p.add_argument("--steps", type=int, default=600)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_fit)
+
+    p = sub.add_parser("generate", help="text-to-traffic generation")
+    p.add_argument("--model", required=True)
+    p.add_argument("--class", dest="class_name", required=True)
+    p.add_argument("-n", "--count", type=int, default=10)
+    p.add_argument("--state-repair", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_generate)
+
+    p = sub.add_parser("render", help="render a flow as an nprint image")
+    p.add_argument("--in", dest="infile", required=True)
+    p.add_argument("--flow-index", type=int, default=0)
+    p.add_argument("--max-packets", type=int, default=64)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_render)
+
+    p = sub.add_parser("stats", help="summarise a capture")
+    p.add_argument("--in", dest="infile", required=True)
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("replay", help="replay a capture through stateful NFs")
+    p.add_argument("--in", dest="infile", required=True)
+    p.set_defaults(fn=_cmd_replay)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

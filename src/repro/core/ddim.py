@@ -1,0 +1,74 @@
+"""DDIM accelerated sampling (Song et al., 2021).
+
+§4 of the paper flags "generative speed" — the multi-step sampling
+procedure of diffusion models — as an open challenge for high-throughput
+trace generation.  DDIM is the canonical mitigation: a deterministic
+(eta = 0) or partially stochastic sampler over a strided subsequence of
+the training timesteps, trading steps for fidelity.  The step-count sweep
+in ``benchmarks/test_bench_speed.py`` regenerates that trade-off curve.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.ddpm import EpsModel, GaussianDiffusion
+
+
+def ddim_timesteps(train_steps: int, sample_steps: int) -> np.ndarray:
+    """An evenly strided, strictly decreasing timestep subsequence."""
+    if not 1 <= sample_steps <= train_steps:
+        raise ValueError("need 1 <= sample_steps <= train_steps")
+    steps = np.linspace(0, train_steps - 1, sample_steps)
+    return np.unique(steps.astype(np.int64))[::-1]
+
+
+class DDIMSampler:
+    """Strided deterministic sampler sharing a trained DDPM's schedule."""
+
+    def __init__(self, diffusion: GaussianDiffusion, eta: float = 0.0):
+        if eta < 0:
+            raise ValueError("eta must be >= 0")
+        self.diffusion = diffusion
+        self.eta = eta
+
+    def sample(
+        self,
+        eps_model: EpsModel,
+        shape: tuple[int, ...],
+        rng: np.random.Generator,
+        steps: int = 50,
+        clip_x0: float | None = 3.0,
+        callback: Callable[[int, np.ndarray], None] | None = None,
+    ) -> np.ndarray:
+        """Generate samples with ``steps`` network evaluations."""
+        schedule = self.diffusion.schedule
+        ts = ddim_timesteps(schedule.timesteps, steps)
+        x = rng.standard_normal(shape)
+        for i, t in enumerate(ts):
+            t_vec = np.full(shape[0], t, dtype=np.int64)
+            eps = eps_model(x, t_vec)
+            x0_hat = self.diffusion.predict_x0(x, t_vec, eps)
+            if clip_x0 is not None:
+                x0_hat = np.clip(x0_hat, -clip_x0, clip_x0)
+            prev_t = ts[i + 1] if i + 1 < len(ts) else -1
+            alpha_bar_prev = (
+                schedule.alpha_bars[prev_t] if prev_t >= 0 else 1.0
+            )
+            alpha_bar = schedule.alpha_bars[t]
+            sigma = self.eta * np.sqrt(
+                (1 - alpha_bar_prev)
+                / (1 - alpha_bar)
+                * (1 - alpha_bar / alpha_bar_prev)
+            )
+            dir_coeff = np.sqrt(np.maximum(1 - alpha_bar_prev - sigma**2, 0.0))
+            x = (
+                np.sqrt(alpha_bar_prev) * x0_hat
+                + dir_coeff * eps
+                + sigma * rng.standard_normal(shape)
+            )
+            if callback is not None:
+                callback(int(t), x)
+        return x

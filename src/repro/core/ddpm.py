@@ -1,0 +1,112 @@
+"""Gaussian diffusion: forward noising, training objective, ancestral sampling.
+
+Model-agnostic DDPM machinery (Ho et al., 2020).  The epsilon-model is any
+callable ``eps(x_t, t) -> eps_hat`` over NumPy arrays; the trainable
+wrapper lives in :mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.schedule import NoiseSchedule
+
+EpsModel = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class GaussianDiffusion:
+    """Forward/reverse diffusion over flat latent vectors."""
+
+    def __init__(self, schedule: NoiseSchedule):
+        self.schedule = schedule
+
+    @property
+    def timesteps(self) -> int:
+        return self.schedule.timesteps
+
+    # -- forward process -----------------------------------------------------
+    def q_sample(
+        self, x0: np.ndarray, t: np.ndarray, noise: np.ndarray
+    ) -> np.ndarray:
+        """Sample ``x_t ~ q(x_t | x_0)`` in closed form."""
+        x0 = np.asarray(x0, dtype=np.float64)
+        t = np.asarray(t, dtype=np.int64)
+        if (t < 0).any() or (t >= self.timesteps).any():
+            raise IndexError("timestep out of range")
+        sqrt_ab = self.schedule.sqrt_alpha_bars[t].reshape(-1, *([1] * (x0.ndim - 1)))
+        sqrt_1mab = self.schedule.sqrt_one_minus_alpha_bars[t].reshape(
+            -1, *([1] * (x0.ndim - 1))
+        )
+        return sqrt_ab * x0 + sqrt_1mab * noise
+
+    def predict_x0(
+        self, x_t: np.ndarray, t: np.ndarray, eps: np.ndarray
+    ) -> np.ndarray:
+        """Invert the forward process: estimate x0 from (x_t, eps)."""
+        t = np.asarray(t, dtype=np.int64)
+        sqrt_ab = self.schedule.sqrt_alpha_bars[t].reshape(-1, *([1] * (x_t.ndim - 1)))
+        sqrt_1mab = self.schedule.sqrt_one_minus_alpha_bars[t].reshape(
+            -1, *([1] * (x_t.ndim - 1))
+        )
+        return (x_t - sqrt_1mab * eps) / sqrt_ab
+
+    # -- reverse process --------------------------------------------------------
+    def p_sample_step(
+        self,
+        eps_model: EpsModel,
+        x_t: np.ndarray,
+        t: int,
+        rng: np.random.Generator,
+        clip_x0: float | None = 3.0,
+    ) -> np.ndarray:
+        """One ancestral sampling step x_t -> x_{t-1}."""
+        batch = x_t.shape[0]
+        t_vec = np.full(batch, t, dtype=np.int64)
+        eps = eps_model(x_t, t_vec)
+        x0_hat = self.predict_x0(x_t, t_vec, eps)
+        if clip_x0 is not None:
+            x0_hat = np.clip(x0_hat, -clip_x0, clip_x0)
+        alpha_bar = self.schedule.alpha_bars[t]
+        alpha_bar_prev = self.schedule.alpha_bars[t - 1] if t > 0 else 1.0
+        alpha = self.schedule.alphas[t]
+        beta = self.schedule.betas[t]
+        # Posterior mean in terms of x0_hat and x_t (Ho et al., eq. 7).
+        coef_x0 = np.sqrt(alpha_bar_prev) * beta / (1.0 - alpha_bar)
+        coef_xt = np.sqrt(alpha) * (1.0 - alpha_bar_prev) / (1.0 - alpha_bar)
+        mean = coef_x0 * x0_hat + coef_xt * x_t
+        if t == 0:
+            return mean
+        var = self.schedule.posterior_variance[t]
+        return mean + np.sqrt(var) * rng.standard_normal(x_t.shape)
+
+    def sample(
+        self,
+        eps_model: EpsModel,
+        shape: tuple[int, ...],
+        rng: np.random.Generator,
+        clip_x0: float | None = 3.0,
+        callback: Callable[[int, np.ndarray], None] | None = None,
+    ) -> np.ndarray:
+        """Full T-step ancestral sampling from pure noise."""
+        x = rng.standard_normal(shape)
+        for t in reversed(range(self.timesteps)):
+            x = self.p_sample_step(eps_model, x, t, rng, clip_x0)
+            if callback is not None:
+                callback(t, x)
+        return x
+
+    # -- training -------------------------------------------------------------
+    def sample_training_batch(
+        self,
+        x0: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw (x_t, t, eps) for the standard eps-prediction MSE loss."""
+        x0 = np.asarray(x0, dtype=np.float64)
+        batch = x0.shape[0]
+        t = rng.integers(0, self.timesteps, size=batch)
+        noise = rng.standard_normal(x0.shape)
+        x_t = self.q_sample(x0, t, noise)
+        return x_t, t, noise

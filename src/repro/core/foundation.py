@@ -1,0 +1,167 @@
+"""Self-supervised traffic foundation model (§4 research agenda).
+
+§4 envisions "a similar foundation model for networking ... leverag[ing]
+self-supervised learning on a large-scale dataset of real-world raw
+network traces", with discriminative tasks built on top.  This module
+implements that sketch at library scale:
+
+* :class:`FoundationEncoder` — a masked-autoencoding encoder over nprint
+  flow vectors: random feature positions are masked out and the model is
+  trained to reconstruct exactly those positions (the BERT/MAE objective
+  transplanted to header bits).  No labels are used.
+* :class:`LinearProbe` — a softmax classifier over frozen embeddings,
+  the standard protocol for measuring what a self-supervised
+  representation learned.
+
+The few-shot experiment (``repro.experiments.extensions.run_few_shot``
+via the benchmark harness) verifies the §4 premise mechanically:
+embeddings from a *pretrained* encoder support few-shot service
+recognition far better than the same architecture with random weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.postprocess import gaps_to_channel
+from repro.ml.nn import (
+    Adam,
+    Linear,
+    Module,
+    Sequential,
+    SiLU,
+    Tensor,
+    mse_loss,
+    softmax_cross_entropy,
+)
+from repro.net.flow import Flow
+from repro.nprint.encoder import encode_flow, interarrival_channel
+
+
+@dataclass
+class FoundationConfig:
+    """Capacity/training knobs for the masked autoencoder."""
+
+    max_packets: int = 12
+    embed_dim: int = 64
+    hidden: int = 256
+    mask_fraction: float = 0.3
+    mask_value: float = 0.0
+    train_steps: int = 400
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    seed: int = 0
+
+
+class FoundationEncoder(Module):
+    """Masked-autoencoding encoder over flattened nprint flow vectors."""
+
+    def __init__(self, input_dim: int, config: FoundationConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self._rng = rng
+        self.input_dim = input_dim
+        self.encoder = Sequential(
+            Linear(input_dim, config.hidden, rng=rng),
+            SiLU(),
+            Linear(config.hidden, config.embed_dim, rng=rng),
+        )
+        self.decoder = Sequential(
+            Linear(config.embed_dim, config.hidden, rng=rng),
+            SiLU(),
+            Linear(config.hidden, input_dim, rng=rng),
+        )
+        self.history: list[float] = []
+        self.is_pretrained = False
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.encoder(x)
+
+    # -- self-supervised pretraining -----------------------------------------
+    def pretrain(self, X: np.ndarray, verbose: bool = False) -> list[float]:
+        """Masked-reconstruction pretraining on unlabeled vectors."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.input_dim:
+            raise ValueError(f"expected (n, {self.input_dim}), got {X.shape}")
+        cfg = self.config
+        params = self.encoder.parameters() + self.decoder.parameters()
+        optimizer = Adam(params, lr=cfg.learning_rate)
+        n = len(X)
+        for step in range(cfg.train_steps):
+            idx = self._rng.integers(0, n, size=min(cfg.batch_size, n))
+            batch = X[idx]
+            mask = self._rng.random(batch.shape) < cfg.mask_fraction
+            corrupted = np.where(mask, cfg.mask_value, batch)
+            recon = self.decoder(self.encoder(Tensor(corrupted)))
+            # Loss only on the masked positions — reconstruction of the
+            # visible ones would be trivial copying.
+            diff = (recon - Tensor(batch)) * Tensor(mask.astype(float))
+            denom = max(float(mask.sum()), 1.0)
+            loss = (diff * diff).sum() * (1.0 / denom)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            self.history.append(float(loss.data))
+            if verbose and (step + 1) % 100 == 0:
+                recent = float(np.mean(self.history[-100:]))
+                print(f"[foundation] step {step + 1}/{cfg.train_steps} "
+                      f"loss {recent:.4f}")
+        self.is_pretrained = True
+        return self.history
+
+    def embed(self, X: np.ndarray) -> np.ndarray:
+        """Frozen embeddings for downstream probes."""
+        return self.encoder(Tensor(np.asarray(X, dtype=np.float64))).data
+
+
+def flow_vectors(flows: list[Flow], max_packets: int) -> np.ndarray:
+    """Flows -> the flat (bits + timing) vectors the encoder consumes."""
+    matrices = np.stack(
+        [encode_flow(f, max_packets) for f in flows]
+    ).astype(np.float32)
+    gaps = np.stack(
+        [gaps_to_channel(interarrival_channel(f, max_packets))
+         for f in flows]
+    ).astype(np.float32)
+    flat = matrices.reshape(len(flows), -1)
+    return np.concatenate([flat, gaps], axis=1)
+
+
+class LinearProbe:
+    """Softmax classifier over frozen foundation embeddings."""
+
+    def __init__(self, embed_dim: int, n_classes: int, seed: int = 0,
+                 steps: int = 300, lr: float = 5e-2):
+        if n_classes < 2:
+            raise ValueError("need at least 2 classes")
+        rng = np.random.default_rng(seed)
+        self.linear = Linear(embed_dim, n_classes, rng=rng)
+        self.steps = steps
+        self.lr = lr
+        self.n_classes = n_classes
+
+    def fit(self, Z: np.ndarray, y: np.ndarray) -> "LinearProbe":
+        Z = np.asarray(Z, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        # Standardise so the probe's lr is scale-free.
+        self._mean = Z.mean(axis=0)
+        self._std = Z.std(axis=0) + 1e-6
+        Zn = (Z - self._mean) / self._std
+        optimizer = Adam(self.linear.parameters(), lr=self.lr)
+        for _ in range(self.steps):
+            logits = self.linear(Tensor(Zn))
+            loss = softmax_cross_entropy(logits, y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return self
+
+    def predict(self, Z: np.ndarray) -> np.ndarray:
+        Zn = (np.asarray(Z, dtype=np.float64) - self._mean) / self._std
+        return np.argmax(self.linear(Tensor(Zn)).data, axis=1)
+
+    def score(self, Z: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(Z) == np.asarray(y)))

@@ -1,0 +1,141 @@
+"""LoRA: low-rank adaptation of the denoiser's linear layers.
+
+The paper's second tier uses LoRA (Hu et al., 2021) to extend class
+coverage: the base diffusion model stays frozen while rank-r adapter pairs
+(A, B) on selected linear layers absorb the new class.  ``B`` is
+zero-initialised so injection is an exact no-op before fine-tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.nn import Linear, Module, Tensor
+
+
+class LoRALinear(Module):
+    """A frozen :class:`Linear` plus a trainable low-rank delta.
+
+    ``y = x W + b + (alpha / r) * (x A) B`` where ``A`` is Gaussian,
+    ``B`` starts at zero, and only A/B receive gradients.
+    """
+
+    def __init__(self, base: Linear, rank: int = 4, alpha: float = 8.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if rank < 1:
+            raise ValueError("rank must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.base = base
+        self.rank = rank
+        self.scale = alpha / rank
+        # Freeze the base: its parameters stop receiving gradients.
+        base.weight.requires_grad = False
+        if base.bias is not None:
+            base.bias.requires_grad = False
+        self.lora_a = self.register_parameter(
+            "lora_a",
+            Tensor(rng.normal(0.0, 1.0 / rank,
+                              size=(base.in_features, rank))),
+        )
+        self.lora_b = self.register_parameter(
+            "lora_b", Tensor(np.zeros((rank, base.out_features)))
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.base.weight
+        if self.base.bias is not None:
+            out = out + self.base.bias
+        return out + ((x @ self.lora_a) @ self.lora_b) * self.scale
+
+    def merged_weight(self) -> np.ndarray:
+        """The effective dense weight ``W + scale * A B``."""
+        return self.base.weight.data + self.scale * (
+            self.lora_a.data @ self.lora_b.data
+        )
+
+    def lora_parameters(self) -> list[Tensor]:
+        return [self.lora_a, self.lora_b]
+
+    def merge(self) -> Linear:
+        """Fold the adapter into a plain Linear (deployment form)."""
+        merged = Linear(self.base.in_features, self.base.out_features,
+                        bias=self.base.bias is not None)
+        merged.weight.data = self.merged_weight()
+        if self.base.bias is not None:
+            merged.bias.data = self.base.bias.data.copy()
+        return merged
+
+
+def inject_lora(
+    module: Module,
+    rank: int = 4,
+    alpha: float = 8.0,
+    rng: np.random.Generator | None = None,
+    skip: tuple[str, ...] = (),
+) -> list[LoRALinear]:
+    """Wrap every Linear under ``module`` (recursively) with LoRA.
+
+    Attribute names in ``skip`` (matched against the immediate attribute
+    name, e.g. ``"output_proj"``) are left untouched.  Returns the list of
+    injected adapters; train exactly ``lora_parameters(module)`` to
+    fine-tune without touching base weights.
+    """
+    rng = rng or np.random.default_rng()
+    injected: list[LoRALinear] = []
+
+    def visit(parent: Module) -> None:
+        for name, child in list(parent._modules.items()):
+            if isinstance(child, LoRALinear):
+                continue
+            if isinstance(child, Linear) and name not in skip:
+                adapter = LoRALinear(child, rank=rank, alpha=alpha, rng=rng)
+                parent._modules[name] = adapter
+                if getattr(parent, name, None) is child:
+                    object.__setattr__(parent, name, adapter)
+                injected.append(adapter)
+            else:
+                visit(child)
+        # Lists of blocks (e.g. denoiser.blocks) hold modules outside
+        # _modules attribute mapping; they are registered under block{i}
+        # names, so the loop above already covers them.
+
+    visit(module)
+    return injected
+
+
+def lora_parameters(module: Module) -> list[Tensor]:
+    """All trainable LoRA parameters under ``module``."""
+    params: list[Tensor] = []
+
+    def visit(parent: Module) -> None:
+        for child in parent._modules.values():
+            if isinstance(child, LoRALinear):
+                params.extend(child.lora_parameters())
+            visit(child)
+
+    visit(module)
+    return params
+
+
+def merge_lora(module: Module) -> int:
+    """Replace every LoRALinear under ``module`` with its merged Linear.
+
+    Returns the number of adapters merged.
+    """
+    merged = 0
+
+    def visit(parent: Module) -> None:
+        nonlocal merged
+        for name, child in list(parent._modules.items()):
+            if isinstance(child, LoRALinear):
+                dense = child.merge()
+                parent._modules[name] = dense
+                if getattr(parent, name, None) is child:
+                    object.__setattr__(parent, name, dense)
+                merged += 1
+            else:
+                visit(child)
+
+    visit(module)
+    return merged

@@ -1,0 +1,487 @@
+"""The text-to-traffic synthesis pipeline (the paper's three-tier system).
+
+Tier 1 — a generative base model for granularity: a latent diffusion model
+(whitened-PCA codec + conditional denoiser) trained on nprint images of
+real flows, conditioned on encoded class prompts ("type-0 traffic").
+
+Tier 2 — coverage extension: LoRA adapters + new prompt tokens add classes
+to a frozen base model (:meth:`TextToTrafficPipeline.add_class`).
+
+Tier 3 — control: a ControlNet branch trained on per-flow structure masks,
+plus optional hard structure guidance at decode time, enforcing protocol
+usage patterns (all-TCP Amazon flows, all-UDP Teams flows — Fig. 2).
+
+Typical use::
+
+    pipeline = TextToTrafficPipeline(PipelineConfig(max_packets=32))
+    pipeline.fit(real_flows)                       # fine-tune on real data
+    flows = pipeline.generate("netflix", n=100)    # text-to-traffic
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.autoencoder import LatentCodec
+from repro.core.controlnet import (
+    ControlNetBranch,
+    apply_structure_guidance,
+    structure_mask,
+)
+from repro.core.ddim import DDIMSampler
+from repro.core.ddpm import GaussianDiffusion
+from repro.core.denoiser import ConditionalDenoiser
+from repro.core.lora import inject_lora, lora_parameters
+from repro.core.postprocess import (
+    channel_to_gaps,
+    gaps_to_channel,
+    matrix_to_flow,
+)
+from repro.core.prompt import PromptCodebook, PromptEncoder, Vocabulary
+from repro.core.schedule import NoiseSchedule
+from repro.core.staterepair import repair_flows_state
+from repro.ml.nn import Adam, Tensor, mse_loss
+from repro.net.flow import Flow
+from repro.nprint.encoder import encode_flow, interarrival_channel
+from repro.nprint.fields import NPRINT_BITS
+
+#: prompt used for the unconditional branch of classifier-free guidance
+NULL_PROMPT = "null"
+
+
+@dataclass
+class PipelineConfig:
+    """Scale and training knobs for the pipeline.
+
+    Defaults are laptop-sized: the paper's Stable Diffusion base is
+    replaced by a latent DDPM whose capacity these fields control.
+    ``max_packets`` bounds the image height (the paper's is 1024).
+    """
+
+    max_packets: int = 64
+    latent_dim: int = 96
+    hidden: int = 256
+    blocks: int = 4
+    cond_dim: int = 64
+    time_dim: int = 64
+    timesteps: int = 400
+    schedule: str = "cosine"  # "cosine" or "linear"
+    train_steps: int = 1500
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    controlnet_steps: int = 500
+    cond_dropout: float = 0.1  # classifier-free guidance training dropout
+    guidance_weight: float = 2.0
+    use_ema: bool = False  # sample from an EMA of the base weights
+    ema_decay: float = 0.999
+    ddim_steps: int = 40
+    generation_batch: int = 256
+    seed: int = 0
+
+    def make_schedule(self) -> NoiseSchedule:
+        if self.schedule == "cosine":
+            return NoiseSchedule.cosine(self.timesteps)
+        if self.schedule == "linear":
+            return NoiseSchedule.linear(self.timesteps)
+        raise ValueError(f"unknown schedule {self.schedule!r}")
+
+
+@dataclass
+class GenerationResult:
+    """Raw generation artefacts before/after the pcap back-transform."""
+
+    flows: list[Flow]
+    matrices: np.ndarray  # ternary-quantised, structure-repaired is in flows
+    continuous: np.ndarray
+    gaps: np.ndarray
+    label: str
+
+
+class TextToTrafficPipeline:
+    """Fine-tune on real flows; generate class-conditional synthetic flows."""
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+        self.codec = LatentCodec(self.config.latent_dim)
+        self.diffusion = GaussianDiffusion(self.config.make_schedule())
+        self.codebook: PromptCodebook | None = None
+        self.vocab = Vocabulary()
+        self.vocab.add(NULL_PROMPT)
+        self.vocab.add("traffic")
+        self.prompt_encoder: PromptEncoder | None = None
+        self.denoiser: ConditionalDenoiser | None = None
+        self.controlnet: ControlNetBranch | None = None
+        self.class_masks: dict[str, np.ndarray] = {}
+        self.class_heights: dict[str, float] = {}
+        self.training_history: list[float] = []
+        self.controlnet_history: list[float] = []
+
+    # -- representation -------------------------------------------------------
+    def _flow_vector(self, flow: Flow) -> tuple[np.ndarray, np.ndarray]:
+        matrix = encode_flow(flow, self.config.max_packets)
+        gaps = interarrival_channel(flow, self.config.max_packets)
+        return matrix, gaps
+
+    def _vectorize(
+        self, matrices: np.ndarray, gap_channels: np.ndarray
+    ) -> np.ndarray:
+        flat = matrices.reshape(matrices.shape[0], -1).astype(np.float32)
+        return np.concatenate(
+            [flat, gap_channels.astype(np.float32)], axis=1
+        )
+
+    def _devectorize(
+        self, vectors: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        p = self.config.max_packets
+        split = p * NPRINT_BITS
+        matrices = vectors[:, :split].reshape(-1, p, NPRINT_BITS)
+        gap_channels = vectors[:, split:]
+        return matrices, gap_channels
+
+    # -- training ----------------------------------------------------------------
+    def fit(self, flows: list[Flow], verbose: bool = False) -> "TextToTrafficPipeline":
+        """Fine-tune the base model, then the ControlNet branch.
+
+        ``flows`` must carry labels; the prompt codebook is built from the
+        distinct labels in sorted order ("type-0 traffic" etc.).
+        """
+        if not flows:
+            raise ValueError("cannot fit on an empty flow list")
+        labels = [f.label for f in flows]
+        if any(not l for l in labels):
+            raise ValueError("every training flow needs a label")
+        classes = sorted(set(labels))
+        self.codebook = PromptCodebook(classes)
+        for name in classes:
+            for token in self.codebook.prompt_for(name).split():
+                self.vocab.add(token)
+
+        cfg = self.config
+        matrices = np.stack([encode_flow(f, cfg.max_packets) for f in flows])
+        gap_channels = np.stack(
+            [gaps_to_channel(interarrival_channel(f, cfg.max_packets))
+             for f in flows]
+        )
+        vectors = self._vectorize(matrices, gap_channels)
+        self.codec.fit(vectors)
+        latents = self.codec.encode(vectors)
+
+        self._store_class_templates(matrices, labels)
+
+        self.prompt_encoder = PromptEncoder(self.vocab, cfg.cond_dim,
+                                            rng=self._rng)
+        self.denoiser = ConditionalDenoiser(
+            latent_dim=self.codec.latent_dim,
+            hidden=cfg.hidden,
+            blocks=cfg.blocks,
+            cond_dim=cfg.cond_dim,
+            time_dim=cfg.time_dim,
+            rng=self._rng,
+        )
+        prompts = [self.codebook.prompt_for(l) for l in labels]
+        self.training_history = self._train_base(latents, prompts, verbose)
+
+        self.controlnet = ControlNetBranch(cfg.hidden, cfg.blocks,
+                                           rng=self._rng)
+        masks = np.stack([structure_mask(m) for m in matrices])
+        self.controlnet_history = self._train_controlnet(
+            latents, prompts, masks, verbose
+        )
+        return self
+
+    def _store_class_templates(
+        self, matrices: np.ndarray, labels: list[str]
+    ) -> None:
+        """Per-class mean structure mask + mean packet count."""
+        labels_arr = np.asarray(labels)
+        for name in self.codebook.classes:
+            rows = matrices[labels_arr == name]
+            if len(rows) == 0:
+                continue
+            masks = np.stack([structure_mask(m) for m in rows])
+            self.class_masks[name] = masks.mean(axis=0)
+            heights = [
+                float((~np.all(m == -1, axis=1)).sum()) for m in rows
+            ]
+            self.class_heights[name] = float(np.mean(heights))
+
+    def _train_base(
+        self, latents: np.ndarray, prompts: list[str], verbose: bool
+    ) -> list[float]:
+        cfg = self.config
+        params = self.denoiser.parameters() + self.prompt_encoder.parameters()
+        optimizer = Adam(params, lr=cfg.learning_rate)
+        ema = None
+        if cfg.use_ema:
+            from repro.ml.nn.ema import ExponentialMovingAverage
+
+            ema = [
+                ExponentialMovingAverage(self.denoiser, cfg.ema_decay),
+                ExponentialMovingAverage(self.prompt_encoder, cfg.ema_decay),
+            ]
+        history = self._training_loop(
+            latents, prompts, optimizer, cfg.train_steps,
+            use_control=False, masks=None, verbose=verbose, tag="base",
+            ema=ema,
+        )
+        if ema is not None:
+            ema[0].copy_to(self.denoiser)
+            ema[1].copy_to(self.prompt_encoder)
+        return history
+
+    def _train_controlnet(
+        self,
+        latents: np.ndarray,
+        prompts: list[str],
+        masks: np.ndarray,
+        verbose: bool,
+    ) -> list[float]:
+        """Train only the control branch; the base stays frozen."""
+        cfg = self.config
+        optimizer = Adam(self.controlnet.parameters(),
+                         lr=cfg.learning_rate)
+        return self._training_loop(
+            latents, prompts, optimizer, cfg.controlnet_steps,
+            use_control=True, masks=masks, verbose=verbose, tag="controlnet",
+        )
+
+    def _training_loop(
+        self,
+        latents: np.ndarray,
+        prompts: list[str],
+        optimizer: Adam,
+        steps: int,
+        use_control: bool,
+        masks: np.ndarray | None,
+        verbose: bool,
+        tag: str,
+        ema: list | None = None,
+    ) -> list[float]:
+        cfg = self.config
+        n = len(latents)
+        history: list[float] = []
+        prompts = list(prompts)
+        for step in range(steps):
+            idx = self._rng.integers(0, n, size=min(cfg.batch_size, n))
+            x0 = latents[idx]
+            batch_prompts = [
+                NULL_PROMPT if self._rng.random() < cfg.cond_dropout
+                else prompts[i]
+                for i in idx
+            ]
+            x_t, t, noise = self.diffusion.sample_training_batch(x0, self._rng)
+            cond = self.prompt_encoder(batch_prompts)
+            controls = None
+            if use_control and masks is not None:
+                controls = self.controlnet(masks[idx])
+            eps = self.denoiser(Tensor(x_t), t, cond, controls)
+            loss = mse_loss(eps, noise)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            if ema is not None:
+                ema[0].update(self.denoiser)
+                ema[1].update(self.prompt_encoder)
+            history.append(float(loss.data))
+            if verbose and (step + 1) % 200 == 0:
+                recent = float(np.mean(history[-200:]))
+                print(f"[{tag}] step {step + 1}/{steps} loss {recent:.4f}")
+        return history
+
+    # -- sampling ---------------------------------------------------------------
+    def _require_fitted(self) -> None:
+        if self.denoiser is None or self.codebook is None:
+            raise RuntimeError("pipeline is not fitted")
+
+    def _eps_model(
+        self,
+        prompt: str,
+        n: int,
+        mask: np.ndarray | None,
+        guidance_weight: float,
+    ):
+        """Closure evaluating (classifier-free-guided) noise prediction."""
+        cond_prompts = [prompt] * n
+        null_prompts = [NULL_PROMPT] * n
+        mask_batch = None
+        if mask is not None and self.controlnet is not None:
+            mask_batch = np.broadcast_to(mask, (n, mask.shape[0]))
+
+        def eps(x_t: np.ndarray, t: np.ndarray) -> np.ndarray:
+            cond = self.prompt_encoder(cond_prompts[: len(x_t)])
+            controls = None
+            if mask_batch is not None:
+                controls = self.controlnet(mask_batch[: len(x_t)])
+            eps_cond = self.denoiser(Tensor(x_t), t, cond, controls).data
+            if guidance_weight <= 0:
+                return eps_cond
+            null_cond = self.prompt_encoder(null_prompts[: len(x_t)])
+            eps_null = self.denoiser(Tensor(x_t), t, null_cond, None).data
+            return (1 + guidance_weight) * eps_cond - guidance_weight * eps_null
+
+        return eps
+
+    def sample_latents(
+        self,
+        class_name: str,
+        n: int,
+        steps: int | None = None,
+        use_control: bool = True,
+        guidance_weight: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Sample ``n`` latent vectors for ``class_name`` via DDIM."""
+        self._require_fitted()
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        cfg = self.config
+        rng = rng or self._rng
+        steps = steps or cfg.ddim_steps
+        weight = cfg.guidance_weight if guidance_weight is None else guidance_weight
+        prompt = self.codebook.prompt_for(class_name)
+        mask = self.class_masks.get(class_name) if use_control else None
+        sampler = DDIMSampler(self.diffusion)
+        out = []
+        remaining = n
+        while remaining > 0:
+            batch = min(remaining, cfg.generation_batch)
+            eps = self._eps_model(prompt, batch, mask, weight)
+            z = sampler.sample(eps, (batch, self.codec.latent_dim), rng,
+                               steps=steps)
+            out.append(z)
+            remaining -= batch
+        return np.concatenate(out, axis=0)
+
+    def generate_raw(
+        self,
+        class_name: str,
+        n: int,
+        steps: int | None = None,
+        use_control: bool = True,
+        hard_guidance: bool = True,
+        guidance_weight: float | None = None,
+        state_repair: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> GenerationResult:
+        """Generate flows and return every intermediate artefact.
+
+        ``state_repair`` additionally rebuilds cross-packet protocol state
+        (handshake, sequence numbers) so the flows replay cleanly through
+        stateful network functions — the §4 open-challenge extension; see
+        :mod:`repro.core.staterepair`.
+        """
+        self._require_fitted()
+        if class_name not in self.class_masks:
+            raise KeyError(f"unknown class {class_name!r}")
+        latents = self.sample_latents(
+            class_name, n, steps=steps, use_control=use_control,
+            guidance_weight=guidance_weight, rng=rng,
+        )
+        vectors = self.codec.decode(latents)
+        continuous, gap_channels = self._devectorize(vectors)
+        mask = self.class_masks[class_name]
+        flows: list[Flow] = []
+        quantised = []
+        for i in range(n):
+            cont = continuous[i]
+            if hard_guidance:
+                cont = apply_structure_guidance(cont, mask)
+            decoded = matrix_to_flow(
+                cont, gaps_channel=gap_channels[i], label=class_name
+            )
+            flows.append(decoded.flow)
+            quantised.append(cont)
+        if state_repair:
+            # Batch repair assigns distinct client ports so flows from
+            # one generation call never collide on a 5-tuple at replay.
+            flows = repair_flows_state(flows, rng or self._rng)
+        gaps = channel_to_gaps(gap_channels)
+        return GenerationResult(
+            flows=flows,
+            matrices=np.stack(quantised),
+            continuous=continuous,
+            gaps=gaps,
+            label=class_name,
+        )
+
+    def generate(
+        self,
+        class_name: str,
+        n: int,
+        **kwargs,
+    ) -> list[Flow]:
+        """Generate ``n`` labelled synthetic flows for ``class_name``."""
+        return self.generate_raw(class_name, n, **kwargs).flows
+
+    def generate_balanced(
+        self, n_per_class: int, **kwargs
+    ) -> list[Flow]:
+        """Invoke generation equally per class (§3.2 'Coverage').
+
+        The paper's balanced-coverage recipe: "to create a balanced
+        synthetic network dataset spanning all classes ... we merely
+        invoke the generation process an equal number of times for each."
+        """
+        self._require_fitted()
+        flows: list[Flow] = []
+        for name in self.codebook.classes:
+            flows.extend(self.generate(name, n_per_class, **kwargs))
+        return flows
+
+    # -- coverage extension (LoRA) ----------------------------------------------
+    def add_class(
+        self,
+        class_name: str,
+        flows: list[Flow],
+        rank: int = 4,
+        steps: int = 400,
+        verbose: bool = False,
+    ) -> list[float]:
+        """Add a new traffic class to a frozen base model via LoRA.
+
+        New prompt tokens are minted for the class; LoRA adapters absorb
+        the new distribution while base weights stay untouched (asserted
+        by the test suite).  Returns the fine-tuning loss history.
+        """
+        self._require_fitted()
+        if not flows:
+            raise ValueError("need flows for the new class")
+        cfg = self.config
+        prompt = self.codebook.add_class(class_name)
+        for token in prompt.split():
+            self.vocab.add(token)
+        self.prompt_encoder.grow_to_vocab()
+
+        matrices = np.stack([encode_flow(f, cfg.max_packets) for f in flows])
+        gap_channels = np.stack(
+            [gaps_to_channel(interarrival_channel(f, cfg.max_packets))
+             for f in flows]
+        )
+        vectors = self._vectorize(matrices, gap_channels)
+        latents = self.codec.encode(vectors)
+        labels = [class_name] * len(flows)
+        self._append_class_templates(matrices, class_name)
+
+        adapters = inject_lora(self.denoiser, rank=rank, rng=self._rng)
+        if not adapters:
+            raise RuntimeError("no linear layers found to adapt")
+        params = lora_parameters(self.denoiser)
+        params.extend(self.prompt_encoder.parameters())
+        optimizer = Adam(params, lr=cfg.learning_rate)
+        prompts = [prompt] * len(flows)
+        return self._training_loop(
+            latents, prompts, optimizer, steps,
+            use_control=False, masks=None, verbose=verbose, tag="lora",
+        )
+
+    def _append_class_templates(
+        self, matrices: np.ndarray, class_name: str
+    ) -> None:
+        masks = np.stack([structure_mask(m) for m in matrices])
+        self.class_masks[class_name] = masks.mean(axis=0)
+        heights = [float((~np.all(m == -1, axis=1)).sum()) for m in matrices]
+        self.class_heights[class_name] = float(np.mean(heights))

@@ -1,0 +1,134 @@
+"""Text prompt encoding for text-to-traffic synthesis.
+
+The paper encodes each class as an opaque prompt keyword — "'Type-0' for
+'Netflix' — to minimize the influence of base model's original word
+embeddings" (§3.1).  This module implements that interface: a whitespace
+tokenizer with a growable vocabulary, a deterministic mapping from class
+names to ``Type-k`` codes, and a :class:`PromptEncoder` module that embeds
+token sequences into a conditioning vector by mean pooling.
+
+A growable vocabulary is what makes the LoRA "add-on classes via word
+embeddings" extension work: registering a new class mints a new token whose
+embedding row is trained while the base model stays frozen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.nn import Embedding, Module, Tensor
+
+
+class Vocabulary:
+    """Token <-> id mapping with append-only growth."""
+
+    PAD = "<pad>"
+    UNK = "<unk>"
+
+    def __init__(self, tokens: list[str] | None = None):
+        self._tokens: list[str] = [self.PAD, self.UNK]
+        self._index: dict[str, int] = {self.PAD: 0, self.UNK: 1}
+        for t in tokens or []:
+            self.add(t)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    def add(self, token: str) -> int:
+        """Register ``token`` (idempotent); returns its id."""
+        if token not in self._index:
+            self._index[token] = len(self._tokens)
+            self._tokens.append(token)
+        return self._index[token]
+
+    def encode(self, text: str) -> list[int]:
+        """Lowercased whitespace tokenization; unknown tokens map to UNK."""
+        return [
+            self._index.get(tok, self._index[self.UNK])
+            for tok in text.lower().split()
+        ]
+
+    def decode(self, ids: list[int]) -> str:
+        return " ".join(self._tokens[i] for i in ids)
+
+    def tokens(self) -> list[str]:
+        return list(self._tokens)
+
+
+class PromptCodebook:
+    """Deterministic class-name <-> ``Type-k`` prompt mapping."""
+
+    def __init__(self, class_names: list[str]):
+        if len(set(class_names)) != len(class_names):
+            raise ValueError("duplicate class names")
+        self._classes = list(class_names)
+        self._index = {name: i for i, name in enumerate(self._classes)}
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    @property
+    def classes(self) -> list[str]:
+        return list(self._classes)
+
+    def class_index(self, name: str) -> int:
+        return self._index[name]
+
+    def prompt_for(self, name: str) -> str:
+        """e.g. ``'netflix' -> 'type-0 traffic'``."""
+        return f"type-{self._index[name]} traffic"
+
+    def add_class(self, name: str) -> str:
+        """Register a new class (the LoRA coverage-extension path)."""
+        if name in self._index:
+            raise ValueError(f"class {name!r} already registered")
+        self._index[name] = len(self._classes)
+        self._classes.append(name)
+        return self.prompt_for(name)
+
+
+class PromptEncoder(Module):
+    """Token embeddings + mean pooling -> conditioning vector.
+
+    ``grow_to`` re-allocates the embedding table when the vocabulary gains
+    tokens after construction, preserving trained rows — the mechanism
+    behind "flexible addition of new classes via word embeddings".
+    """
+
+    def __init__(self, vocab: Vocabulary, dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.vocab = vocab
+        self.dim = dim
+        self._rng = rng or np.random.default_rng()
+        self.embedding = Embedding(len(vocab), dim, rng=self._rng)
+
+    def grow_to_vocab(self) -> int:
+        """Extend the embedding table to cover newly added tokens."""
+        current = self.embedding.num_embeddings
+        needed = len(self.vocab)
+        if needed > current:
+            old = self.embedding.table.data
+            new_rows = self._rng.normal(0.0, 0.02, size=(needed - current, self.dim))
+            grown = Embedding(needed, self.dim, rng=self._rng)
+            grown.table.data = np.concatenate([old, new_rows], axis=0)
+            self.embedding = grown
+            self.register_module("embedding", grown)
+        return self.embedding.num_embeddings
+
+    def forward(self, prompts: list[str]) -> Tensor:
+        """Encode a batch of prompt strings to (B, dim) condition vectors."""
+        ids = [self.vocab.encode(p) for p in prompts]
+        width = max(len(seq) for seq in ids)
+        batch = np.zeros((len(ids), width), dtype=np.int64)
+        mask = np.zeros((len(ids), width), dtype=np.float64)
+        for i, seq in enumerate(ids):
+            batch[i, : len(seq)] = seq
+            mask[i, : len(seq)] = 1.0
+        embedded = self.embedding(batch)  # (B, W, dim)
+        weights = mask / np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        # Mean over real (non-pad) tokens.
+        return (embedded * Tensor(weights[:, :, None])).sum(axis=1)

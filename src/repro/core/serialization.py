@@ -1,0 +1,138 @@
+"""Save / load a fitted pipeline to a single ``.npz`` archive.
+
+A fitted :class:`~repro.core.pipeline.TextToTrafficPipeline` is a bundle
+of NumPy state: the codec's components, three modules' parameters, the
+vocabulary, the prompt codebook and the per-class control templates.
+``save_pipeline`` packs all of it (config included, JSON-encoded) into one
+compressed archive; ``load_pipeline`` rebuilds an equivalent pipeline that
+generates identical flows for identical RNG streams.
+
+LoRA-adapted pipelines must be merged first (:func:`repro.core.lora.merge_lora`)
+— adapters are a training-time construct; the deployment form is dense.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.autoencoder import LatentCodec
+from repro.core.controlnet import ControlNetBranch
+from repro.core.denoiser import ConditionalDenoiser
+from repro.core.lora import LoRALinear
+from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
+from repro.core.prompt import PromptCodebook, PromptEncoder
+
+_FORMAT_VERSION = 1
+
+
+def _module_state(prefix: str, module) -> dict[str, np.ndarray]:
+    return {f"{prefix}.{name}": value
+            for name, value in module.state_dict().items()}
+
+
+def _contains_lora(module) -> bool:
+    for child in module._modules.values():
+        if isinstance(child, LoRALinear) or _contains_lora(child):
+            return True
+    return False
+
+
+def save_pipeline(pipeline: TextToTrafficPipeline, path: str | Path) -> None:
+    """Serialise a fitted pipeline to ``path`` (npz, compressed)."""
+    if pipeline.denoiser is None or pipeline.codebook is None:
+        raise ValueError("cannot save an unfitted pipeline")
+    if _contains_lora(pipeline.denoiser):
+        raise ValueError(
+            "pipeline has unmerged LoRA adapters; call "
+            "repro.core.lora.merge_lora(pipeline.denoiser) first"
+        )
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": pipeline.config.__dict__,
+        "classes": pipeline.codebook.classes,
+        "vocab_tokens": pipeline.vocab.tokens(),
+        "class_heights": pipeline.class_heights,
+        "codec_latent_dim": pipeline.codec.latent_dim,
+    }
+    arrays: dict[str, np.ndarray] = {
+        "meta_json": np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8),
+        "codec.mean": pipeline.codec.mean_,
+        "codec.components": pipeline.codec.components_,
+        "codec.scales": pipeline.codec.scales_,
+        "codec.evr": pipeline.codec.explained_variance_ratio_,
+    }
+    arrays.update(_module_state("denoiser", pipeline.denoiser))
+    arrays.update(_module_state("prompt", pipeline.prompt_encoder))
+    if pipeline.controlnet is not None:
+        arrays.update(_module_state("controlnet", pipeline.controlnet))
+    for name, mask in pipeline.class_masks.items():
+        arrays[f"mask.{name}"] = mask
+    np.savez_compressed(path, **arrays)
+
+
+def load_pipeline(path: str | Path) -> TextToTrafficPipeline:
+    """Rebuild a pipeline saved by :func:`save_pipeline`."""
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    meta = json.loads(bytes(arrays.pop("meta_json")).decode())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported pipeline archive version {meta.get('format_version')}"
+        )
+    config = PipelineConfig(**meta["config"])
+    pipeline = TextToTrafficPipeline(config)
+
+    # Codec.
+    codec = LatentCodec(meta["codec_latent_dim"])
+    codec.mean_ = arrays["codec.mean"]
+    codec.components_ = arrays["codec.components"]
+    codec.scales_ = arrays["codec.scales"]
+    codec.explained_variance_ratio_ = arrays["codec.evr"]
+    codec.latent_dim = int(meta["codec_latent_dim"])
+    pipeline.codec = codec
+
+    # Vocabulary / codebook.
+    for token in meta["vocab_tokens"]:
+        pipeline.vocab.add(token)
+    pipeline.codebook = PromptCodebook(meta["classes"])
+
+    # Modules (shapes are implied by the config + vocab size).
+    rng = np.random.default_rng(config.seed)
+    pipeline.prompt_encoder = PromptEncoder(
+        pipeline.vocab, config.cond_dim, rng=rng)
+    pipeline.denoiser = ConditionalDenoiser(
+        latent_dim=codec.latent_dim,
+        hidden=config.hidden,
+        blocks=config.blocks,
+        cond_dim=config.cond_dim,
+        time_dim=config.time_dim,
+        rng=rng,
+    )
+    _load_module("denoiser", pipeline.denoiser, arrays)
+    _load_module("prompt", pipeline.prompt_encoder, arrays)
+    if any(key.startswith("controlnet.") for key in arrays):
+        pipeline.controlnet = ControlNetBranch(
+            config.hidden, config.blocks, rng=rng)
+        _load_module("controlnet", pipeline.controlnet, arrays)
+
+    pipeline.class_masks = {
+        key[len("mask."):]: arrays[key]
+        for key in arrays if key.startswith("mask.")
+    }
+    pipeline.class_heights = {
+        k: float(v) for k, v in meta["class_heights"].items()
+    }
+    return pipeline
+
+
+def _load_module(prefix: str, module, arrays: dict[str, np.ndarray]) -> None:
+    state = {
+        key[len(prefix) + 1:]: value
+        for key, value in arrays.items()
+        if key.startswith(prefix + ".")
+    }
+    module.load_state_dict(state)

@@ -1,0 +1,86 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+See DESIGN.md's experiment index.  Each module exposes a ``run_*``
+function returning a result dataclass with a ``render()`` method and the
+published numbers alongside the measured ones.
+"""
+
+from repro.experiments.config import ExperimentConfig, preset, quick, paper, tiny
+from repro.experiments.data import ExperimentContext, clear_contexts, get_context
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import PAPER_TABLE2, Table2Result, run_table2
+from repro.experiments.figure1 import (
+    Figure1Result,
+    run_figure1_11class,
+    run_figure1_2class,
+)
+from repro.experiments.figure2 import Figure2Result, flow_compliance, run_figure2
+from repro.experiments.speed import SpeedResult, run_speed
+from repro.experiments.replay_exp import ReplayResult, run_replay
+from repro.experiments.ablations import (
+    ControlAblationResult,
+    LoraAblationResult,
+    PerClassGANResult,
+    run_control_ablation,
+    run_lora_ablation,
+    run_per_class_gan,
+)
+from repro.experiments.extensions import (
+    AnomalyResult,
+    ConditionTransferResult,
+    DeblurResultSummary,
+    FewShotResult,
+    TranslationResult,
+    run_anomaly_detection,
+    run_condition_transfer,
+    run_deblurring,
+    run_few_shot,
+    run_vpn_translation,
+)
+from repro.experiments.fidelity import FidelityResult, run_fidelity
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "ExperimentConfig",
+    "preset",
+    "tiny",
+    "quick",
+    "paper",
+    "ExperimentContext",
+    "get_context",
+    "clear_contexts",
+    "run_table1",
+    "Table1Result",
+    "run_table2",
+    "Table2Result",
+    "PAPER_TABLE2",
+    "run_figure1_11class",
+    "run_figure1_2class",
+    "Figure1Result",
+    "run_figure2",
+    "Figure2Result",
+    "flow_compliance",
+    "run_speed",
+    "SpeedResult",
+    "run_replay",
+    "ReplayResult",
+    "run_per_class_gan",
+    "PerClassGANResult",
+    "run_control_ablation",
+    "ControlAblationResult",
+    "run_lora_ablation",
+    "LoraAblationResult",
+    "run_deblurring",
+    "DeblurResultSummary",
+    "run_vpn_translation",
+    "TranslationResult",
+    "run_anomaly_detection",
+    "AnomalyResult",
+    "run_condition_transfer",
+    "ConditionTransferResult",
+    "run_few_shot",
+    "FewShotResult",
+    "run_fidelity",
+    "FidelityResult",
+    "run_all",
+]

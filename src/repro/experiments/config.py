@@ -1,0 +1,148 @@
+"""Experiment configuration and presets.
+
+One config object controls every knob the harness needs: dataset scale
+(relative to the published Table 1 counts), nprint image height, model
+capacity / training budget for ours and the baselines, and classifier
+size.  Three presets:
+
+* ``tiny``  — seconds-scale, used by the integration tests;
+* ``quick`` — a couple of minutes, the default benchmark preset;
+* ``paper`` — the paper-shaped run (100 fine-tune flows per class, the
+  full published class counts, 1024-packet images are still capped to
+  keep a pure-NumPy run tractable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.baselines.gan import GANConfig
+from repro.core.pipeline import PipelineConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything the experiment harness needs, in one place."""
+
+    name: str = "quick"
+    seed: int = 0
+
+    # Dataset
+    dataset_scale: float = 0.03  # fraction of the Table 1 flow counts
+    test_fraction: float = 0.2  # the paper's 80/20 split
+
+    # Representation
+    max_packets: int = 32  # image height (paper: up to 1024)
+    rf_feature_packets: int = 12  # packets per flow fed to the RF
+
+    # Ours (diffusion pipeline)
+    finetune_flows_per_class: int = 40  # paper §3.2 uses 100
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+
+    # Baseline (NetShare-style GAN)
+    gan: GANConfig = field(default_factory=GANConfig)
+
+    # Synthetic volumes for evaluation
+    synthetic_eval_per_class: int = 25  # test-side synthetic flows
+    synthetic_train_per_class: int = 40  # train-side synthetic flows
+
+    # Random forest
+    rf_trees: int = 20
+    rf_depth: int = 16
+
+
+def tiny(seed: int = 0) -> ExperimentConfig:
+    """Seconds-scale preset for the integration tests."""
+    return ExperimentConfig(
+        name="tiny",
+        seed=seed,
+        dataset_scale=0.008,
+        max_packets=12,
+        rf_feature_packets=8,
+        finetune_flows_per_class=12,
+        pipeline=PipelineConfig(
+            max_packets=12,
+            latent_dim=40,
+            hidden=96,
+            blocks=3,
+            timesteps=120,
+            train_steps=350,
+            controlnet_steps=120,
+            ddim_steps=12,
+            seed=seed,
+        ),
+        gan=GANConfig(steps=350, seed=seed),
+        synthetic_eval_per_class=8,
+        synthetic_train_per_class=10,
+        rf_trees=10,
+        rf_depth=12,
+    )
+
+
+def quick(seed: int = 0) -> ExperimentConfig:
+    """Minutes-scale preset — the default for the benchmark harness."""
+    return ExperimentConfig(
+        name="quick",
+        seed=seed,
+        dataset_scale=0.03,
+        max_packets=32,
+        rf_feature_packets=12,
+        finetune_flows_per_class=40,
+        pipeline=PipelineConfig(
+            max_packets=32,
+            latent_dim=96,
+            hidden=256,
+            blocks=4,
+            timesteps=300,
+            train_steps=1500,
+            controlnet_steps=500,
+            ddim_steps=30,
+            seed=seed,
+        ),
+        gan=GANConfig(steps=1500, seed=seed),
+        synthetic_eval_per_class=25,
+        synthetic_train_per_class=40,
+        rf_trees=20,
+        rf_depth=16,
+    )
+
+
+def paper(seed: int = 0) -> ExperimentConfig:
+    """Paper-shaped preset: 100 fine-tune flows/class, larger everything."""
+    return ExperimentConfig(
+        name="paper",
+        seed=seed,
+        dataset_scale=0.1,
+        max_packets=64,
+        rf_feature_packets=16,
+        finetune_flows_per_class=100,
+        pipeline=PipelineConfig(
+            max_packets=64,
+            latent_dim=128,
+            hidden=320,
+            blocks=5,
+            timesteps=500,
+            train_steps=3000,
+            controlnet_steps=1000,
+            ddim_steps=50,
+            seed=seed,
+        ),
+        gan=GANConfig(steps=3000, seed=seed),
+        synthetic_eval_per_class=40,
+        synthetic_train_per_class=80,
+        rf_trees=30,
+        rf_depth=18,
+    )
+
+
+PRESETS = {"tiny": tiny, "quick": quick, "paper": paper}
+
+
+def preset(name: str, seed: int = 0) -> ExperimentConfig:
+    """Look up a preset by name."""
+    try:
+        return PRESETS[name](seed)
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

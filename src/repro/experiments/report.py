@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment results (paper vs measured)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with auto-sized columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_bars(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 30,
+    title: str | None = None,
+) -> str:
+    """ASCII grouped bar chart (used for the Figure 1 proportions)."""
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max(max(v) for v in series.values()) or 1.0
+    label_w = max(len(l) for l in labels)
+    name_w = max(len(n) for n in series)
+    for i, label in enumerate(labels):
+        for name, values in series.items():
+            bar = "#" * max(1, int(round(values[i] / peak * width)))
+            lines.append(
+                f"{label.ljust(label_w)} {name.ljust(name_w)} "
+                f"{bar} {values[i]:.3f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,130 @@
+"""Run every experiment and print the paper-vs-measured report.
+
+Usage::
+
+    python -m repro.experiments.runner --preset quick
+    python -m repro.experiments.runner --preset tiny --skip ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    figure1,
+    figure2,
+    replay_exp,
+    speed,
+)
+from repro.experiments.config import ExperimentConfig, preset
+from repro.experiments.fidelity import run_fidelity
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "figure1",
+    "figure2",
+    "speed",
+    "replay",
+    "ablations",
+    "extensions",
+    "fidelity",
+)
+
+
+def run_all(
+    config: ExperimentConfig,
+    skip: tuple[str, ...] = (),
+    output_dir: str | None = None,
+) -> dict[str, object]:
+    """Run the full harness; returns {experiment: result object}."""
+    results: dict[str, object] = {}
+
+    def stage(name: str, fn):
+        if name in skip:
+            return
+        start = time.perf_counter()
+        results[name] = fn()
+        print(f"\n=== {name} ({time.perf_counter() - start:.1f}s) ===")
+        rendered = results[name]
+        if isinstance(rendered, dict):
+            for sub in rendered.values():
+                print(sub.render())
+                print()
+        else:
+            print(rendered.render())
+
+    stage("table1", lambda: run_table1(config))
+    stage("table2", lambda: run_table2(config))
+    stage("figure1", lambda: {
+        "11class": figure1.run_figure1_11class(config),
+        "2class": figure1.run_figure1_2class(config),
+    })
+    stage("figure2", lambda: figure2.run_figure2(config, output_dir=output_dir))
+    stage("speed", lambda: speed.run_speed(config))
+    stage("replay", lambda: replay_exp.run_replay(config))
+    stage("ablations", lambda: {
+        "per_class_gan": ablations.run_per_class_gan(config),
+        "control": ablations.run_control_ablation(config),
+        "lora": ablations.run_lora_ablation(config),
+    })
+    stage("extensions", lambda: {
+        "deblurring": extensions.run_deblurring(config),
+        "vpn_translation": extensions.run_vpn_translation(config),
+        "condition_transfer": extensions.run_condition_transfer(config),
+        "anomaly": extensions.run_anomaly_detection(config),
+        "few_shot": extensions.run_few_shot(config),
+    })
+    stage("fidelity", lambda: run_fidelity(config))
+    return results
+
+
+def write_markdown(results: dict[str, object], path: str,
+                   config: ExperimentConfig) -> None:
+    """Write every result's rendering into one markdown report."""
+    lines = [
+        "# Experiment report",
+        "",
+        f"Preset: `{config.name}` (seed {config.seed}, "
+        f"dataset scale {config.dataset_scale})",
+        "",
+    ]
+    for name, result in results.items():
+        lines.append(f"## {name}")
+        lines.append("")
+        parts = result.values() if isinstance(result, dict) else [result]
+        for part in parts:
+            lines.append("```")
+            lines.append(part.render())
+            lines.append("```")
+            lines.append("")
+    with open(path, "w") as f:
+        f.write("\n".join(lines))
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="quick",
+                        choices=("tiny", "quick", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--skip", nargs="*", default=[],
+                        choices=EXPERIMENTS)
+    parser.add_argument("--output-dir", default="experiment_outputs")
+    parser.add_argument("--markdown", default=None,
+                        help="also write the report to this markdown file")
+    args = parser.parse_args(argv)
+    config = preset(args.preset, seed=args.seed)
+    results = run_all(config, skip=tuple(args.skip),
+                      output_dir=args.output_dir)
+    if args.markdown:
+        write_markdown(results, args.markdown, config)
+        print(f"\nmarkdown report written to {args.markdown}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+"""Minimal PNG codec (8-bit RGB / greyscale), stdlib only.
+
+Used by the Figure 2 harness to save flow images that open in any viewer.
+Supports writing truecolor (and greyscale) images and reading back images
+written by this module or any encoder that uses non-interlaced 8-bit
+color types 0/2 with standard filters.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+class PngError(ValueError):
+    """Raised on malformed or unsupported PNG input."""
+
+
+def _chunk(tag: bytes, payload: bytes) -> bytes:
+    return (
+        struct.pack(">I", len(payload))
+        + tag
+        + payload
+        + struct.pack(">I", zlib.crc32(tag + payload) & 0xFFFFFFFF)
+    )
+
+
+def write_png(path: str | Path, image: np.ndarray) -> None:
+    """Write an (H, W, 3) RGB or (H, W) greyscale uint8 array as PNG."""
+    image = np.asarray(image)
+    if image.dtype != np.uint8:
+        raise PngError(f"expected uint8 image, got {image.dtype}")
+    if image.ndim == 2:
+        color_type = 0
+        channels = 1
+    elif image.ndim == 3 and image.shape[2] == 3:
+        color_type = 2
+        channels = 3
+    else:
+        raise PngError(f"unsupported image shape {image.shape}")
+    height, width = image.shape[:2]
+    if height == 0 or width == 0:
+        raise PngError("image must be non-empty")
+
+    ihdr = struct.pack(">IIBBBBB", width, height, 8, color_type, 0, 0, 0)
+    # Filter type 0 (None) on every scanline keeps the encoder simple.
+    raw = b"".join(
+        b"\x00" + image[y].tobytes() for y in range(height)
+    )
+    data = zlib.compress(raw, 6)
+    with open(path, "wb") as f:
+        f.write(_PNG_SIGNATURE)
+        f.write(_chunk(b"IHDR", ihdr))
+        f.write(_chunk(b"IDAT", data))
+        f.write(_chunk(b"IEND", b""))
+
+
+def read_png(path: str | Path) -> np.ndarray:
+    """Read an 8-bit non-interlaced greyscale/RGB PNG back into an array."""
+    with open(path, "rb") as f:
+        blob = f.read()
+    if not blob.startswith(_PNG_SIGNATURE):
+        raise PngError("not a PNG file")
+    pos = len(_PNG_SIGNATURE)
+    width = height = None
+    color_type = None
+    idat = b""
+    while pos + 8 <= len(blob):
+        length, tag = struct.unpack(">I4s", blob[pos : pos + 8])
+        payload = blob[pos + 8 : pos + 8 + length]
+        expected_crc = struct.unpack(
+            ">I", blob[pos + 8 + length : pos + 12 + length]
+        )[0]
+        if zlib.crc32(tag + payload) & 0xFFFFFFFF != expected_crc:
+            raise PngError(f"CRC mismatch in {tag!r} chunk")
+        if tag == b"IHDR":
+            width, height, depth, color_type, comp, filt, interlace = struct.unpack(
+                ">IIBBBBB", payload
+            )
+            if depth != 8:
+                raise PngError(f"unsupported bit depth {depth}")
+            if color_type not in (0, 2):
+                raise PngError(f"unsupported color type {color_type}")
+            if interlace:
+                raise PngError("interlaced PNG not supported")
+        elif tag == b"IDAT":
+            idat += payload
+        elif tag == b"IEND":
+            break
+        pos += 12 + length
+    if width is None or color_type is None:
+        raise PngError("missing IHDR")
+    channels = 1 if color_type == 0 else 3
+    raw = zlib.decompress(idat)
+    stride = width * channels
+    expected = height * (stride + 1)
+    if len(raw) != expected:
+        raise PngError(f"decompressed size {len(raw)} != expected {expected}")
+
+    out = np.empty((height, stride), dtype=np.uint8)
+    prev = np.zeros(stride, dtype=np.uint8)
+    for y in range(height):
+        offset = y * (stride + 1)
+        filter_type = raw[offset]
+        line = np.frombuffer(raw, dtype=np.uint8, count=stride, offset=offset + 1)
+        out[y] = _unfilter(line, prev, filter_type, channels)
+        prev = out[y]
+    if channels == 1:
+        return out
+    return out.reshape(height, width, 3)
+
+
+def _unfilter(
+    line: np.ndarray, prev: np.ndarray, filter_type: int, channels: int
+) -> np.ndarray:
+    """Reverse one PNG scanline filter (types 0-4)."""
+    result = line.astype(np.int32).copy()
+    if filter_type == 0:
+        pass
+    elif filter_type == 1:  # Sub
+        for i in range(channels, len(result)):
+            result[i] = (result[i] + result[i - channels]) & 0xFF
+    elif filter_type == 2:  # Up
+        result = (result + prev) & 0xFF
+    elif filter_type == 3:  # Average
+        for i in range(len(result)):
+            left = result[i - channels] if i >= channels else 0
+            result[i] = (result[i] + (left + int(prev[i])) // 2) & 0xFF
+    elif filter_type == 4:  # Paeth
+        for i in range(len(result)):
+            left = result[i - channels] if i >= channels else 0
+            up = int(prev[i])
+            up_left = int(prev[i - channels]) if i >= channels else 0
+            result[i] = (result[i] + _paeth(left, up, up_left)) & 0xFF
+    else:
+        raise PngError(f"unknown filter type {filter_type}")
+    return result.astype(np.uint8)
+
+
+def _paeth(a: int, b: int, c: int) -> int:
+    p = a + b - c
+    pa, pb, pc = abs(p - a), abs(p - b), abs(p - c)
+    if pa <= pb and pa <= pc:
+        return a
+    if pb <= pc:
+        return b
+    return c

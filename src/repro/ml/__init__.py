@@ -1,0 +1,61 @@
+"""ML substrate: NN framework, random forest, features, metrics, splits."""
+
+from repro.ml.features import (
+    NETFLOW_FIELDS,
+    OVERFIT_NETFLOW_FIELDS,
+    NetFlowRecord,
+    netflow_feature_names,
+    netflow_features,
+    netflow_record,
+    nprint_features,
+    nprint_matrix_features,
+    overfit_bit_mask,
+)
+from repro.ml.forest import DecisionTree, RandomForest
+from repro.ml.importance import (
+    FieldImportance,
+    ImportanceReport,
+    fold_importances,
+)
+from repro.ml.metrics import (
+    accuracy,
+    bit_fidelity,
+    class_proportions,
+    confusion_matrix,
+    imbalance_ratio,
+    jensen_shannon_divergence,
+    macro_f1,
+    normalized_entropy,
+    per_class_accuracy,
+    wasserstein_1d,
+)
+from repro.ml.split import encode_labels, stratified_split
+
+__all__ = [
+    "DecisionTree",
+    "RandomForest",
+    "fold_importances",
+    "ImportanceReport",
+    "FieldImportance",
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "macro_f1",
+    "class_proportions",
+    "imbalance_ratio",
+    "normalized_entropy",
+    "jensen_shannon_divergence",
+    "wasserstein_1d",
+    "bit_fidelity",
+    "NetFlowRecord",
+    "NETFLOW_FIELDS",
+    "OVERFIT_NETFLOW_FIELDS",
+    "netflow_record",
+    "netflow_features",
+    "netflow_feature_names",
+    "nprint_features",
+    "nprint_matrix_features",
+    "overfit_bit_mask",
+    "stratified_split",
+    "encode_labels",
+]

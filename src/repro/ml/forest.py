@@ -1,0 +1,264 @@
+"""CART decision trees and a bagged random forest, vectorised in NumPy.
+
+The paper's downstream task model is a Random Forest service classifier
+trained either on raw nprint bits or on NetFlow aggregates.  scikit-learn
+is not available offline, so this is a from-scratch implementation tuned
+for the workloads here: split search is vectorised across the candidate
+feature subset, and for the (ternary) nprint feature space each feature
+has at most two thresholds, which keeps training fast even with tens of
+thousands of bit columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry a class distribution."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    distribution: np.ndarray | None = None  # class probabilities at a leaf
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTree:
+    """A CART classifier with Gini impurity and random feature subsets.
+
+    ``max_features`` candidate features are drawn at every split (the
+    random-forest trick); pass ``None`` to consider all features (a plain
+    CART tree).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 18,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        max_thresholds: int = 8,
+        rng: np.random.Generator | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_thresholds = max_thresholds
+        self.rng = rng or np.random.default_rng()
+        self._root: _Node | None = None
+        self.n_classes = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        X = np.asarray(X, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise ValueError("X and y length mismatch")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_classes = int(y.max()) + 1
+        self.feature_importances_ = np.zeros(X.shape[1])
+        self._root = self._grow(X, y, depth=0)
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        return self
+
+    # -- training ----------------------------------------------------------
+    def _leaf(self, y: np.ndarray) -> _Node:
+        dist = np.bincount(y, minlength=self.n_classes).astype(np.float64)
+        dist /= dist.sum()
+        return _Node(distribution=dist)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        n = len(y)
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or len(np.unique(y)) == 1
+        ):
+            return self._leaf(y)
+        split = self._best_split(X, y)
+        if split is None:
+            return self._leaf(y)
+        feature, threshold, gain = split
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return self._leaf(y)
+        self.feature_importances_[feature] += gain * n
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self.rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        """Vectorised Gini split search over a random feature subset."""
+        n, n_features = X.shape
+        features = self._candidate_features(n_features)
+        onehot = np.zeros((n, self.n_classes), dtype=np.float64)
+        onehot[np.arange(n), y] = 1.0
+        class_totals = onehot.sum(axis=0)
+        parent_gini = 1.0 - ((class_totals / n) ** 2).sum()
+
+        best: tuple[int, float, float] | None = None
+        best_gain = 1e-12
+        sub = X[:, features]
+        for j, feature in enumerate(features):
+            column = sub[:, j]
+            thresholds = self._thresholds(column)
+            if thresholds.size == 0:
+                continue
+            # left_counts[t, c] = #samples of class c with value <= threshold t
+            le = column[:, None] <= thresholds[None, :]  # (n, T)
+            left_counts = le.T @ onehot  # (T, C)
+            left_n = left_counts.sum(axis=1)
+            right_counts = class_totals[None, :] - left_counts
+            right_n = n - left_n
+            valid = (left_n >= self.min_samples_leaf) & (
+                right_n >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gini_l = 1.0 - ((left_counts / left_n[:, None]) ** 2).sum(axis=1)
+                gini_r = 1.0 - ((right_counts / right_n[:, None]) ** 2).sum(axis=1)
+            weighted = (left_n * gini_l + right_n * gini_r) / n
+            weighted[~valid] = np.inf
+            t = int(np.argmin(weighted))
+            gain = parent_gini - weighted[t]
+            if gain > best_gain:
+                best_gain = gain
+                best = (int(feature), float(thresholds[t]), float(gain))
+        return best
+
+    def _thresholds(self, column: np.ndarray) -> np.ndarray:
+        values = np.unique(column)
+        if values.size <= 1:
+            return np.empty(0)
+        mids = (values[:-1] + values[1:]) / 2.0
+        if mids.size > self.max_thresholds:
+            # Quantile subsample keeps split search O(max_thresholds).
+            idx = np.linspace(0, mids.size - 1, self.max_thresholds).astype(int)
+            mids = mids[np.unique(idx)]
+        return mids
+
+    # -- inference -----------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("predict before fit")
+        X = np.asarray(X, dtype=np.float32)
+        out = np.empty((len(X), self.n_classes))
+        # Iterative routing: maintain per-node index sets instead of
+        # recursing per sample; depth is bounded so this is fast.
+        stack = [(self._root, np.arange(len(X)))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.distribution
+                continue
+            mask = X[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1)
+
+
+class RandomForest:
+    """Bagged CART ensemble with per-split feature subsampling."""
+
+    def __init__(
+        self,
+        n_trees: int = 30,
+        max_depth: int = 18,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        max_thresholds: int = 8,
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_thresholds = max_thresholds
+        self.seed = seed
+        self.trees: list[DecisionTree] = []
+        self.n_classes = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    def _resolve_max_features(self, n_features: int) -> int | None:
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        return self.max_features
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        X = np.asarray(X, dtype=np.float32)
+        y = np.asarray(y, dtype=np.int64)
+        self.n_classes = int(y.max()) + 1
+        n = len(X)
+        max_features = self._resolve_max_features(X.shape[1])
+        rng = np.random.default_rng(self.seed)
+        self.trees = []
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_trees):
+            idx = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                max_thresholds=self.max_thresholds,
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+            )
+            tree.fit(X[idx], y[idx])
+            # A bootstrap may miss the rarest class entirely; pad the tree's
+            # class axis so ensemble averaging lines up.
+            self.trees.append(tree)
+            if tree.feature_importances_ is not None:
+                importances += tree.feature_importances_
+        self.feature_importances_ = importances / self.n_trees
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("predict before fit")
+        X = np.asarray(X, dtype=np.float32)
+        total = np.zeros((len(X), self.n_classes))
+        for tree in self.trees:
+            proba = tree.predict_proba(X)
+            if proba.shape[1] < self.n_classes:
+                padded = np.zeros((len(X), self.n_classes))
+                padded[:, : proba.shape[1]] = proba
+                proba = padded
+            total += proba
+        return total / self.n_trees
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))

@@ -1,0 +1,92 @@
+"""Map random-forest feature importances back to protocol fields.
+
+An RF trained on flattened nprint bits has one importance value per
+(packet row, bit column).  That is unreadable; this module folds the
+importances back onto the named nprint fields (``ipv4.ttl``,
+``tcp.window``, ...) and packet positions, producing the
+"which header fields does the classifier actually use" report that
+motivates the paper's fine-grained-features argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.features import overfit_bit_mask
+from repro.nprint.fields import FIELDS, NPRINT_BITS
+
+
+@dataclass
+class FieldImportance:
+    field: str
+    importance: float
+
+
+@dataclass
+class ImportanceReport:
+    by_field: list[FieldImportance]
+    by_packet: np.ndarray  # importance mass per packet position
+
+    def top(self, n: int = 10) -> list[FieldImportance]:
+        return self.by_field[:n]
+
+    def render(self, n: int = 12) -> str:
+        lines = ["Feature importance by protocol field"]
+        for fi in self.top(n):
+            bar = "#" * max(1, int(round(fi.importance * 200)))
+            lines.append(f"  {fi.field:<22} {fi.importance:.4f} {bar}")
+        lines.append("Importance mass by packet position")
+        for i, v in enumerate(self.by_packet):
+            lines.append(f"  packet {i:<3} {v:.4f}")
+        return "\n".join(lines)
+
+
+def fold_importances(
+    importances: np.ndarray,
+    max_packets: int,
+    drop_overfit: bool = True,
+) -> ImportanceReport:
+    """Fold flat per-(packet, bit) importances onto fields and positions.
+
+    ``importances`` must come from an RF trained on
+    :func:`repro.ml.features.nprint_matrix_features` output with the same
+    ``max_packets``/``drop_overfit`` settings.
+    """
+    importances = np.asarray(importances, dtype=np.float64)
+    if drop_overfit:
+        kept_columns = np.flatnonzero(overfit_bit_mask())
+    else:
+        kept_columns = np.arange(NPRINT_BITS)
+    per_packet_width = len(kept_columns)
+    expected = max_packets * per_packet_width
+    if importances.shape != (expected,):
+        raise ValueError(
+            f"expected {expected} importances "
+            f"({max_packets} packets x {per_packet_width} kept bits), "
+            f"got {importances.shape}"
+        )
+    grid = importances.reshape(max_packets, per_packet_width)
+
+    # Column -> field lookup.
+    field_of_column = {}
+    for name, fs in FIELDS.items():
+        for bit in fs:
+            field_of_column[bit] = name
+
+    field_totals: dict[str, float] = {}
+    for j, column in enumerate(kept_columns):
+        name = field_of_column[int(column)]
+        field_totals[name] = field_totals.get(name, 0.0) + float(
+            grid[:, j].sum())
+    ranked = sorted(
+        (FieldImportance(field=k, importance=v)
+         for k, v in field_totals.items()),
+        key=lambda fi: fi.importance,
+        reverse=True,
+    )
+    return ImportanceReport(
+        by_field=ranked,
+        by_packet=grid.sum(axis=1),
+    )

@@ -1,0 +1,49 @@
+"""Exponential moving average of module parameters.
+
+Standard practice for diffusion models (Ho et al. sample from an EMA of
+the denoiser weights rather than the raw optimisation iterate).  The
+pipeline maintains one of these during base training when
+``PipelineConfig.use_ema`` is set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.nn.modules import Module
+
+
+class ExponentialMovingAverage:
+    """Shadow copy of a module's parameters, updated multiplicatively."""
+
+    def __init__(self, module: Module, decay: float = 0.999):
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.decay = decay
+        self._shadow = {
+            name: p.data.copy() for name, p in module.named_parameters()
+        }
+        self._updates = 0
+
+    def update(self, module: Module) -> None:
+        """Fold the module's current parameters into the shadow."""
+        self._updates += 1
+        # Warm-up correction keeps early averages close to the iterate.
+        decay = min(self.decay, (1 + self._updates) / (10 + self._updates))
+        for name, p in module.named_parameters():
+            shadow = self._shadow.get(name)
+            if shadow is None or shadow.shape != p.data.shape:
+                self._shadow[name] = p.data.copy()
+                continue
+            shadow *= decay
+            shadow += (1.0 - decay) * p.data
+
+    def copy_to(self, module: Module) -> None:
+        """Write the shadow parameters into the module."""
+        for name, p in module.named_parameters():
+            shadow = self._shadow.get(name)
+            if shadow is not None and shadow.shape == p.data.shape:
+                p.data = shadow.copy()
+
+    def state(self) -> dict[str, np.ndarray]:
+        return {name: value.copy() for name, value in self._shadow.items()}

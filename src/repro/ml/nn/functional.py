@@ -1,0 +1,40 @@
+"""Loss functions and numerically careful functional helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.nn.autograd import Tensor, where
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error — the DDPM noise-prediction objective."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def bce_with_logits(logits: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Binary cross-entropy on logits, stable for large |x|.
+
+    Uses the identity ``max(x, 0) - x*t + log(1 + exp(-|x|))`` so the GAN
+    discriminator loss never overflows.
+    """
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    positive = logits.data > 0
+    relu_x = where(positive, logits, Tensor(np.zeros(1)))
+    abs_x = where(positive, logits, -logits)
+    softplus = ((-abs_x).exp() + 1.0).log()
+    return (relu_x - logits * target + softplus).mean()
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Cross-entropy over integer class labels with log-sum-exp shift."""
+    labels = np.asarray(labels, dtype=np.int64)
+    shift = Tensor(logits.data.max(axis=-1, keepdims=True))
+    shifted = logits - shift
+    log_z = shifted.exp().sum(axis=-1, keepdims=True).log()
+    log_probs = shifted - log_z
+    rows = np.arange(len(labels))
+    picked = log_probs[rows, labels]
+    return -picked.mean()

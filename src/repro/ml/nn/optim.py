@@ -1,0 +1,121 @@
+"""Optimizers (SGD, Adam) and learning-rate schedules."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ml.nn.autograd import Tensor
+
+
+class Optimizer:
+    """Base optimizer over a fixed list of parameters."""
+
+    def __init__(self, params: list[Tensor], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = list(params)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Tensor], lr: float = 1e-2,
+                 momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(self, params: list[Tensor], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class CosineWarmupSchedule:
+    """Linear warmup followed by cosine decay of an optimizer's lr.
+
+    Call :meth:`step` once per training step *before* ``optimizer.step``.
+    The schedule owns the optimizer's ``lr`` attribute; the configured
+    peak is the optimizer's lr at construction time.
+    """
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 warmup_steps: int = 0, floor: float = 0.0):
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if not 0 <= warmup_steps <= total_steps:
+            raise ValueError("warmup_steps must be in [0, total_steps]")
+        if floor < 0:
+            raise ValueError("floor must be >= 0")
+        self.optimizer = optimizer
+        self.total_steps = total_steps
+        self.warmup_steps = warmup_steps
+        self.floor = floor
+        self.peak = optimizer.lr
+        self._step = 0
+
+    def lr_at(self, step: int) -> float:
+        """The learning rate the schedule assigns to ``step`` (0-based)."""
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.peak * (step + 1) / self.warmup_steps
+        span = max(self.total_steps - self.warmup_steps, 1)
+        progress = min((step - self.warmup_steps) / span, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.floor + (self.peak - self.floor) * cosine
+
+    def step(self) -> float:
+        """Advance one step; returns the lr now installed."""
+        lr = self.lr_at(self._step)
+        self.optimizer.lr = lr
+        self._step += 1
+        return lr

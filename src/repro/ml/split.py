@@ -1,0 +1,47 @@
+"""Label-aware dataset splitting (the paper's 80/20 protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def stratified_split(
+    labels: list[str],
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (train_idx, test_idx) preserving class proportions.
+
+    Every class contributes at least one test sample when it has two or
+    more members, so per-class evaluation is always possible.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    labels_arr = np.asarray(labels)
+    rng = np.random.default_rng(seed)
+    train: list[int] = []
+    test: list[int] = []
+    for cls in np.unique(labels_arr):
+        idx = np.flatnonzero(labels_arr == cls)
+        rng.shuffle(idx)
+        n_test = int(round(len(idx) * test_fraction))
+        if len(idx) >= 2:
+            n_test = min(max(n_test, 1), len(idx) - 1)
+        test.extend(idx[:n_test])
+        train.extend(idx[n_test:])
+    train_idx = np.array(sorted(train), dtype=np.int64)
+    test_idx = np.array(sorted(test), dtype=np.int64)
+    return train_idx, test_idx
+
+
+def encode_labels(
+    labels: list[str], classes: list[str] | None = None
+) -> tuple[np.ndarray, list[str]]:
+    """Map string labels to integer ids; returns (ids, class order)."""
+    if classes is None:
+        classes = sorted(set(labels))
+    index = {c: i for i, c in enumerate(classes)}
+    unknown = set(labels) - set(index)
+    if unknown:
+        raise KeyError(f"labels not in class list: {sorted(unknown)}")
+    return np.array([index[l] for l in labels], dtype=np.int64), list(classes)

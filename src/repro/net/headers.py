@@ -1,0 +1,330 @@
+"""IPv4, TCP, UDP and ICMP header structures with wire serialisation.
+
+Each header is a dataclass whose fields map one-to-one onto the protocol's
+wire fields, plus ``pack``/``unpack`` methods.  The nprint encoder
+(:mod:`repro.nprint`) walks these same fields bit by bit, so the layout
+constants exported here (min/max header sizes) are the single source of
+truth for the 1088-bit nprint feature width:
+
+* IPv4: 60 bytes max (20 fixed + 40 options)  -> 480 bits
+* TCP : 60 bytes max (20 fixed + 40 options)  -> 480 bits
+* UDP :  8 bytes                              ->  64 bits
+* ICMP:  8 bytes (type/code/checksum/rest)    ->  64 bits
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.checksum import internet_checksum, pseudo_header
+
+IPV4_MIN_HEADER_BYTES = 20
+IPV4_MAX_HEADER_BYTES = 60
+TCP_MIN_HEADER_BYTES = 20
+TCP_MAX_HEADER_BYTES = 60
+UDP_HEADER_BYTES = 8
+ICMP_HEADER_BYTES = 8
+
+
+class IPProto(enum.IntEnum):
+    """IP protocol numbers used throughout the reproduction."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+class TCPFlags(enum.IntFlag):
+    """TCP control flags (RFC 793 + ECN bits)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+def _check_range(name: str, value: int, bits: int) -> None:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"{name}={value} does not fit in {bits} bits")
+
+
+@dataclass
+class IPv4Header:
+    """An IPv4 header (RFC 791).
+
+    ``ihl`` and ``total_length`` are derived during :meth:`pack` unless the
+    caller pins them; ``checksum`` is always recomputed on pack so that the
+    emitted bytes are wire-valid even when the header was reconstructed from
+    a noisy synthetic bit matrix.
+    """
+
+    src_ip: int = 0
+    dst_ip: int = 0
+    proto: int = int(IPProto.TCP)
+    ttl: int = 64
+    total_length: int | None = None
+    identification: int = 0
+    dscp: int = 0
+    ecn: int = 0
+    flags: int = 0x2  # don't-fragment, the overwhelmingly common case
+    fragment_offset: int = 0
+    options: bytes = b""
+    version: int = 4
+
+    @property
+    def ihl(self) -> int:
+        """Header length in 32-bit words, including padded options."""
+        option_words = (len(self.options) + 3) // 4
+        return 5 + option_words
+
+    @property
+    def header_length(self) -> int:
+        return self.ihl * 4
+
+    def validate(self) -> None:
+        """Raise ValueError when any field cannot be serialised."""
+        _check_range("version", self.version, 4)
+        _check_range("dscp", self.dscp, 6)
+        _check_range("ecn", self.ecn, 2)
+        _check_range("identification", self.identification, 16)
+        _check_range("flags", self.flags, 3)
+        _check_range("fragment_offset", self.fragment_offset, 13)
+        _check_range("ttl", self.ttl, 8)
+        _check_range("proto", self.proto, 8)
+        _check_range("src_ip", self.src_ip, 32)
+        _check_range("dst_ip", self.dst_ip, 32)
+        if len(self.options) > IPV4_MAX_HEADER_BYTES - IPV4_MIN_HEADER_BYTES:
+            raise ValueError("IPv4 options exceed 40 bytes")
+        if self.total_length is not None:
+            _check_range("total_length", self.total_length, 16)
+
+    def pack(self, payload_length: int = 0) -> bytes:
+        """Serialise to network byte order.
+
+        ``payload_length`` is the number of bytes that follow this header
+        (transport header + data); it is used to derive ``total_length``
+        when the field was not pinned explicitly.
+        """
+        self.validate()
+        padded_options = self.options + b"\x00" * (-len(self.options) % 4)
+        total = self.total_length
+        if total is None:
+            total = self.header_length + payload_length
+        ver_ihl = (self.version << 4) | self.ihl
+        tos = (self.dscp << 2) | self.ecn
+        flags_frag = (self.flags << 13) | self.fragment_offset
+        head = struct.pack(
+            ">BBHHHBBHII",
+            ver_ihl,
+            tos,
+            total,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.proto,
+            0,  # checksum placeholder
+            self.src_ip,
+            self.dst_ip,
+        )
+        head += padded_options
+        csum = internet_checksum(head)
+        return head[:10] + struct.pack(">H", csum) + head[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4Header":
+        """Parse from wire bytes; raises ValueError on truncated input."""
+        if len(data) < IPV4_MIN_HEADER_BYTES:
+            raise ValueError(f"IPv4 header needs 20 bytes, got {len(data)}")
+        (
+            ver_ihl,
+            tos,
+            total,
+            ident,
+            flags_frag,
+            ttl,
+            proto,
+            _csum,
+            src,
+            dst,
+        ) = struct.unpack(">BBHHHBBHII", data[:20])
+        ihl = ver_ihl & 0x0F
+        if ihl < 5:
+            raise ValueError(f"IPv4 IHL {ihl} < 5")
+        header_len = ihl * 4
+        if len(data) < header_len:
+            raise ValueError("IPv4 header truncated before options end")
+        options = bytes(data[20:header_len])
+        return cls(
+            version=ver_ihl >> 4,
+            dscp=tos >> 2,
+            ecn=tos & 0x3,
+            total_length=total,
+            identification=ident,
+            flags=flags_frag >> 13,
+            fragment_offset=flags_frag & 0x1FFF,
+            ttl=ttl,
+            proto=proto,
+            src_ip=src,
+            dst_ip=dst,
+            options=options,
+        )
+
+
+@dataclass
+class TCPHeader:
+    """A TCP header (RFC 793).
+
+    ``data_offset`` is derived from the options length; the checksum is
+    computed over the IPv4 pseudo-header during :meth:`pack`.
+    """
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = int(TCPFlags.ACK)
+    window: int = 65535
+    urgent_pointer: int = 0
+    reserved: int = 0
+    options: bytes = b""
+
+    @property
+    def data_offset(self) -> int:
+        """Header length in 32-bit words, including padded options."""
+        option_words = (len(self.options) + 3) // 4
+        return 5 + option_words
+
+    @property
+    def header_length(self) -> int:
+        return self.data_offset * 4
+
+    def validate(self) -> None:
+        _check_range("src_port", self.src_port, 16)
+        _check_range("dst_port", self.dst_port, 16)
+        _check_range("seq", self.seq, 32)
+        _check_range("ack", self.ack, 32)
+        _check_range("flags", self.flags, 8)
+        _check_range("window", self.window, 16)
+        _check_range("urgent_pointer", self.urgent_pointer, 16)
+        _check_range("reserved", self.reserved, 4)
+        if len(self.options) > TCP_MAX_HEADER_BYTES - TCP_MIN_HEADER_BYTES:
+            raise ValueError("TCP options exceed 40 bytes")
+
+    def pack(self, src_ip: int = 0, dst_ip: int = 0, payload: bytes = b"") -> bytes:
+        """Serialise with a valid pseudo-header checksum."""
+        self.validate()
+        padded_options = self.options + b"\x00" * (-len(self.options) % 4)
+        offset_flags = (self.data_offset << 12) | (self.reserved << 8) | self.flags
+        head = struct.pack(
+            ">HHIIHHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            offset_flags,
+            self.window,
+            0,  # checksum placeholder
+            self.urgent_pointer,
+        )
+        head += padded_options
+        segment_len = len(head) + len(payload)
+        pseudo = pseudo_header(src_ip, dst_ip, int(IPProto.TCP), segment_len)
+        csum = internet_checksum(pseudo + head + payload)
+        return head[:16] + struct.pack(">H", csum) + head[18:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TCPHeader":
+        if len(data) < TCP_MIN_HEADER_BYTES:
+            raise ValueError(f"TCP header needs 20 bytes, got {len(data)}")
+        src, dst, seq, ack, offset_flags, window, _csum, urg = struct.unpack(
+            ">HHIIHHHH", data[:20]
+        )
+        data_offset = offset_flags >> 12
+        if data_offset < 5:
+            raise ValueError(f"TCP data offset {data_offset} < 5")
+        header_len = data_offset * 4
+        if len(data) < header_len:
+            raise ValueError("TCP header truncated before options end")
+        options = bytes(data[20:header_len])
+        return cls(
+            src_port=src,
+            dst_port=dst,
+            seq=seq,
+            ack=ack,
+            reserved=(offset_flags >> 8) & 0xF,
+            flags=offset_flags & 0xFF,
+            window=window,
+            urgent_pointer=urg,
+            options=options,
+        )
+
+
+@dataclass
+class UDPHeader:
+    """A UDP header (RFC 768)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    length: int | None = None
+
+    def validate(self) -> None:
+        _check_range("src_port", self.src_port, 16)
+        _check_range("dst_port", self.dst_port, 16)
+        if self.length is not None:
+            _check_range("length", self.length, 16)
+
+    def pack(self, src_ip: int = 0, dst_ip: int = 0, payload: bytes = b"") -> bytes:
+        self.validate()
+        length = self.length
+        if length is None:
+            length = UDP_HEADER_BYTES + len(payload)
+        head = struct.pack(">HHHH", self.src_port, self.dst_port, length, 0)
+        pseudo = pseudo_header(src_ip, dst_ip, int(IPProto.UDP), length)
+        csum = internet_checksum(pseudo + head + payload)
+        if csum == 0:
+            csum = 0xFFFF  # RFC 768: zero means "no checksum"
+        return head[:6] + struct.pack(">H", csum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        if len(data) < UDP_HEADER_BYTES:
+            raise ValueError(f"UDP header needs 8 bytes, got {len(data)}")
+        src, dst, length, _csum = struct.unpack(">HHHH", data[:8])
+        return cls(src_port=src, dst_port=dst, length=length)
+
+
+@dataclass
+class ICMPHeader:
+    """An ICMP header (RFC 792), first 8 bytes (type/code/checksum/rest)."""
+
+    icmp_type: int = 8  # echo request
+    code: int = 0
+    rest: int = 0  # identifier+sequence for echo, unused/gateway otherwise
+
+    def validate(self) -> None:
+        _check_range("icmp_type", self.icmp_type, 8)
+        _check_range("code", self.code, 8)
+        _check_range("rest", self.rest, 32)
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        self.validate()
+        head = struct.pack(">BBHI", self.icmp_type, self.code, 0, self.rest)
+        csum = internet_checksum(head + payload)
+        return head[:2] + struct.pack(">H", csum) + head[4:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ICMPHeader":
+        if len(data) < ICMP_HEADER_BYTES:
+            raise ValueError(f"ICMP header needs 8 bytes, got {len(data)}")
+        icmp_type, code, _csum, rest = struct.unpack(">BBHI", data[:8])
+        return cls(icmp_type=icmp_type, code=code, rest=rest)
+
+
+# Convenience transport union used in type annotations downstream.
+TransportHeader = TCPHeader | UDPHeader | ICMPHeader

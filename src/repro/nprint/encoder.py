@@ -1,0 +1,114 @@
+"""Packets and flows -> nprint ternary bit matrices.
+
+A packet becomes one row of 1088 values in {-1, 0, 1}: the bits of its IPv4
+header and of whichever transport header it carries, with every bit the
+packet does not carry set to −1 (vacant).  A flow becomes a
+``(max_packets, 1088)`` int8 matrix, padded with all-vacant rows — exactly
+the image rows in the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.flow import Flow
+from repro.net.headers import ICMPHeader, IPProto, TCPHeader, UDPHeader
+from repro.net.packet import Packet
+from repro.nprint.fields import (
+    ICMP_BITS,
+    ICMP_OFFSET,
+    IPV4_BITS,
+    IPV4_OFFSET,
+    NPRINT_BITS,
+    TCP_BITS,
+    TCP_OFFSET,
+    UDP_BITS,
+    UDP_OFFSET,
+    VACANT,
+)
+
+DEFAULT_MAX_PACKETS = 1024  # the paper encodes up to 1024 packets per flow
+
+
+def _bytes_to_bits(data: bytes) -> np.ndarray:
+    """Expand bytes into an array of 0/1 bits, most-significant bit first."""
+    if not data:
+        return np.empty(0, dtype=np.int8)
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return np.unpackbits(arr).astype(np.int8)
+
+
+def encode_packet(pkt: Packet) -> np.ndarray:
+    """Encode one packet into a 1088-wide ternary row.
+
+    The wire bytes are produced by the header ``pack`` methods, so encoded
+    checksums and length fields are valid — the representation is lossless
+    back to a semantically identical packet (payload content excluded).
+    """
+    row = np.full(NPRINT_BITS, VACANT, dtype=np.int8)
+
+    transport_bytes = b""
+    payload = pkt.payload
+    if isinstance(pkt.transport, TCPHeader):
+        transport_bytes = pkt.transport.pack(pkt.ip.src_ip, pkt.ip.dst_ip, payload)
+        bits = _bytes_to_bits(transport_bytes)
+        row[TCP_OFFSET : TCP_OFFSET + len(bits)] = bits
+    elif isinstance(pkt.transport, UDPHeader):
+        transport_bytes = pkt.transport.pack(pkt.ip.src_ip, pkt.ip.dst_ip, payload)
+        bits = _bytes_to_bits(transport_bytes)
+        row[UDP_OFFSET : UDP_OFFSET + len(bits)] = bits
+    elif isinstance(pkt.transport, ICMPHeader):
+        transport_bytes = pkt.transport.pack(payload)
+        bits = _bytes_to_bits(transport_bytes)
+        row[ICMP_OFFSET : ICMP_OFFSET + len(bits)] = bits
+
+    ip_bytes = pkt.ip.pack(len(transport_bytes) + len(payload))
+    ip_bits = _bytes_to_bits(ip_bytes)
+    row[IPV4_OFFSET : IPV4_OFFSET + len(ip_bits)] = ip_bits
+    return row
+
+
+def encode_flow(
+    flow: Flow,
+    max_packets: int = DEFAULT_MAX_PACKETS,
+) -> np.ndarray:
+    """Encode the first ``max_packets`` packets of ``flow``.
+
+    Returns a ``(max_packets, 1088)`` int8 matrix; rows past the end of the
+    flow are entirely vacant (−1), matching the paper's fixed-height image
+    representation.
+    """
+    if max_packets <= 0:
+        raise ValueError("max_packets must be positive")
+    matrix = np.full((max_packets, NPRINT_BITS), VACANT, dtype=np.int8)
+    for i, pkt in enumerate(flow.packets[:max_packets]):
+        matrix[i] = encode_packet(pkt)
+    return matrix
+
+
+def encode_flows(
+    flows: list[Flow],
+    max_packets: int = DEFAULT_MAX_PACKETS,
+) -> np.ndarray:
+    """Stack per-flow matrices into ``(n_flows, max_packets, 1088)``."""
+    if not flows:
+        return np.empty((0, max_packets, NPRINT_BITS), dtype=np.int8)
+    return np.stack([encode_flow(f, max_packets) for f in flows])
+
+
+def interarrival_channel(
+    flow: Flow,
+    max_packets: int = DEFAULT_MAX_PACKETS,
+) -> np.ndarray:
+    """Per-packet inter-arrival times aligned with the nprint rows.
+
+    The paper's representation is header bits only; timestamps are carried
+    out-of-band so the pcap back-transform can space packets realistically.
+    Entry ``i`` is the gap before packet ``i`` (0 for the first packet and
+    for padding rows).
+    """
+    gaps = np.zeros(max_packets, dtype=np.float64)
+    packets = flow.packets[:max_packets]
+    for i in range(1, len(packets)):
+        gaps[i] = max(0.0, packets[i].timestamp - packets[i - 1].timestamp)
+    return gaps

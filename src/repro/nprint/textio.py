@@ -1,0 +1,103 @@
+"""nprint text (CSV) interoperability.
+
+The original nprint tool exchanges bit matrices as CSV: one header line
+naming every bit column, then one row per packet with values in
+{-1, 0, 1}.  This module writes and reads that format so matrices
+produced here can be consumed by nprint-based tooling (and vice versa).
+
+The column names follow :func:`repro.nprint.fields.bit_feature_names`
+(``<field>_bit<i>``); readers accept any header whose column count is
+1088 and trust positional order.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nprint.fields import NPRINT_BITS, bit_feature_names
+
+
+class NprintTextError(ValueError):
+    """Raised on malformed nprint CSV input."""
+
+
+def write_nprint_csv(
+    path: str | Path,
+    matrix: np.ndarray,
+    include_header: bool = True,
+) -> int:
+    """Write a ``(P, 1088)`` ternary matrix as nprint CSV.
+
+    Returns the number of packet rows written.  Trailing all-vacant
+    padding rows are omitted (nprint files carry only real packets).
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[1] != NPRINT_BITS:
+        raise NprintTextError(
+            f"expected (P, {NPRINT_BITS}) matrix, got {matrix.shape}")
+    if not np.isin(matrix, (-1, 0, 1)).all():
+        raise NprintTextError("matrix must be ternary {-1, 0, 1}")
+    rows = [row for row in matrix if (row != -1).any()]
+    with open(path, "w") as f:
+        if include_header:
+            f.write(",".join(bit_feature_names()) + "\n")
+        for row in rows:
+            f.write(",".join(str(int(v)) for v in row) + "\n")
+    return len(rows)
+
+
+def read_nprint_csv(
+    path: str | Path,
+    max_packets: int | None = None,
+) -> np.ndarray:
+    """Read an nprint CSV back into a ternary matrix.
+
+    With ``max_packets`` the result is padded/truncated to that height
+    (padding rows are all-vacant), matching :func:`repro.nprint.encoder.encode_flow`.
+    """
+    rows: list[np.ndarray] = []
+    with open(path) as f:
+        first = f.readline()
+        if not first:
+            raise NprintTextError("empty nprint file")
+        if not _is_data_line(first):
+            pass  # header consumed
+        else:
+            rows.append(_parse_line(first, 1))
+        for lineno, line in enumerate(f, start=2):
+            if line.strip():
+                rows.append(_parse_line(line, lineno))
+    if max_packets is None:
+        if not rows:
+            raise NprintTextError("nprint file contains no packet rows")
+        return np.stack(rows)
+    matrix = np.full((max_packets, NPRINT_BITS), -1, dtype=np.int8)
+    for i, row in enumerate(rows[:max_packets]):
+        matrix[i] = row
+    return matrix
+
+
+def _is_data_line(line: str) -> bool:
+    head = line.split(",", 1)[0].strip()
+    try:
+        int(head)
+    except ValueError:
+        return False
+    return True
+
+
+def _parse_line(line: str, lineno: int) -> np.ndarray:
+    parts = line.strip().split(",")
+    if len(parts) != NPRINT_BITS:
+        raise NprintTextError(
+            f"line {lineno}: expected {NPRINT_BITS} columns, "
+            f"got {len(parts)}")
+    try:
+        values = np.array([int(p) for p in parts], dtype=np.int8)
+    except ValueError as exc:
+        raise NprintTextError(f"line {lineno}: {exc}") from None
+    if not np.isin(values, (-1, 0, 1)).all():
+        raise NprintTextError(f"line {lineno}: values outside {{-1, 0, 1}}")
+    return values

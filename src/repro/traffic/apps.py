@@ -1,0 +1,197 @@
+"""Application behaviour models: profile -> schedule of data events -> flow.
+
+Each :class:`~repro.traffic.profiles.SessionShape` has a schedule generator
+that samples the application-level behaviour (who sends how much, when);
+the session builders in :mod:`repro.traffic.sessions` then realise the
+schedule as protocol-correct packets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.flow import Flow
+from repro.traffic.profiles import AppProfile, SessionShape
+from repro.traffic.sessions import (
+    CLIENT,
+    SERVER,
+    DataEvent,
+    Endpoints,
+    ICMPSessionBuilder,
+    TCPSessionBuilder,
+    UDPSessionBuilder,
+)
+
+
+def _positive_normal(rng: np.random.Generator, mean: float, std: float,
+                     minimum: float = 1.0) -> float:
+    return max(minimum, float(rng.normal(mean, std)))
+
+
+def _flow_packet_budget(profile: AppProfile, rng: np.random.Generator) -> int:
+    mean = profile.flow_packets_mean
+    budget = int(rng.lognormal(np.log(mean), 0.35))
+    return max(profile.flow_packets_min, budget)
+
+
+def _segmented_stream_events(
+    profile: AppProfile, rng: np.random.Generator
+) -> list[DataEvent]:
+    """ABR video: an HTTP-like request, then segment bursts with idle gaps."""
+    events: list[DataEvent] = []
+    budget = _flow_packet_budget(profile, rng)
+    interval = profile.packet_interval_ms / 1000.0
+    first = True
+    while budget > 0:
+        gap = 0.05 if first else abs(rng.normal(profile.burst_gap_s,
+                                                profile.burst_gap_s / 4))
+        first = False
+        # Client request for the next segment.
+        events.append(DataEvent(
+            gap=gap,
+            sender=CLIENT,
+            payload_len=int(_positive_normal(
+                rng, profile.up_payload_mean * 4, profile.up_payload_std * 2,
+                minimum=40.0)),
+            push=True,
+        ))
+        # Server responds with a burst of MSS-sized segments.  The builder
+        # segments a large payload; issue it as one event so sequence
+        # numbers advance contiguously.
+        n_packets = max(2, int(rng.normal(profile.burst_packets_mean,
+                                          profile.burst_packets_mean / 5)))
+        seg_bytes = int(_positive_normal(
+            rng, profile.down_payload_mean, profile.down_payload_std,
+            minimum=200.0))
+        events.append(DataEvent(
+            gap=abs(rng.normal(interval * 10, interval * 3)),
+            sender=SERVER,
+            payload_len=n_packets * min(seg_bytes, profile.mss),
+            push=True,
+        ))
+        budget -= n_packets + 2
+    return events
+
+
+def _rtp_media_events(
+    profile: AppProfile, rng: np.random.Generator
+) -> list[DataEvent]:
+    """Conferencing: bidirectional paced media datagrams."""
+    events: list[DataEvent] = []
+    budget = _flow_packet_budget(profile, rng)
+    interval = profile.packet_interval_ms / 1000.0
+    # Downstream usually carries the larger video; ~55/45 split.
+    for _ in range(budget):
+        sender = SERVER if rng.random() < 0.55 else CLIENT
+        if sender == SERVER:
+            size = _positive_normal(rng, profile.down_payload_mean,
+                                    profile.down_payload_std, minimum=60.0)
+        else:
+            size = _positive_normal(rng, profile.up_payload_mean,
+                                    profile.up_payload_std, minimum=60.0)
+        events.append(DataEvent(
+            gap=abs(rng.normal(interval, interval / 3)),
+            sender=sender,
+            payload_len=int(min(size, 1400)),
+        ))
+    return events
+
+
+def _bursty_request_events(
+    profile: AppProfile, rng: np.random.Generator
+) -> list[DataEvent]:
+    """Social media: request/response exchanges separated by think time."""
+    events: list[DataEvent] = []
+    budget = _flow_packet_budget(profile, rng)
+    first = True
+    while budget > 0:
+        think = 0.02 if first else abs(rng.normal(profile.burst_gap_s,
+                                                  profile.burst_gap_s / 3))
+        first = False
+        events.append(DataEvent(
+            gap=think,
+            sender=CLIENT,
+            payload_len=int(_positive_normal(
+                rng, profile.up_payload_mean, profile.up_payload_std,
+                minimum=60.0)),
+            push=True,
+        ))
+        n_packets = max(1, int(rng.normal(profile.burst_packets_mean,
+                                          profile.burst_packets_mean / 3)))
+        response = int(_positive_normal(
+            rng, profile.down_payload_mean * n_packets,
+            profile.down_payload_std * np.sqrt(n_packets),
+            minimum=100.0))
+        events.append(DataEvent(
+            gap=abs(rng.normal(0.04, 0.015)),
+            sender=SERVER,
+            payload_len=response,
+            push=True,
+        ))
+        budget -= n_packets + 2
+    return events
+
+
+def _periodic_beacon_events(
+    profile: AppProfile, rng: np.random.Generator
+) -> list[DataEvent]:
+    """IoT: sparse telemetry beacons with tiny acknowledgements."""
+    events: list[DataEvent] = []
+    budget = _flow_packet_budget(profile, rng)
+    first = True
+    while budget > 0:
+        gap = 0.1 if first else abs(rng.normal(profile.burst_gap_s,
+                                               profile.burst_gap_s / 5))
+        first = False
+        events.append(DataEvent(
+            gap=gap,
+            sender=CLIENT,
+            payload_len=int(_positive_normal(
+                rng, profile.up_payload_mean, profile.up_payload_std,
+                minimum=8.0)),
+            push=True,
+        ))
+        events.append(DataEvent(
+            gap=abs(rng.normal(0.08, 0.03)),
+            sender=SERVER,
+            payload_len=int(_positive_normal(
+                rng, profile.down_payload_mean, profile.down_payload_std,
+                minimum=4.0)),
+            push=True,
+        ))
+        budget -= 2
+    return events
+
+
+_SCHEDULES = {
+    SessionShape.SEGMENTED_STREAM: _segmented_stream_events,
+    SessionShape.RTP_MEDIA: _rtp_media_events,
+    SessionShape.BURSTY_REQUEST: _bursty_request_events,
+    SessionShape.PERIODIC_BEACON: _periodic_beacon_events,
+}
+
+
+def generate_flow(
+    profile: AppProfile,
+    rng: np.random.Generator,
+    endpoints: Endpoints,
+    start_time: float = 0.0,
+) -> Flow:
+    """Generate one labelled flow for ``profile``.
+
+    The transport is drawn from the profile's mix (e.g. YouTube flows split
+    between TCP and QUIC-over-UDP); the schedule comes from the profile's
+    session shape; the session builder guarantees protocol correctness.
+    """
+    transport = profile.transport_for(float(rng.random()))
+    events = _SCHEDULES[profile.shape](profile, rng)
+    if transport == "tcp":
+        builder = TCPSessionBuilder(profile, endpoints, rng, start_time)
+        return builder.build(events)
+    if transport == "udp":
+        stun = profile.shape is SessionShape.RTP_MEDIA
+        builder = UDPSessionBuilder(profile, endpoints, rng, start_time,
+                                    stun_opener=stun)
+        return builder.build(events)
+    icmp_builder = ICMPSessionBuilder(profile, endpoints, rng, start_time)
+    return icmp_builder.build(events)

@@ -1,0 +1,134 @@
+"""Dataset builder reproducing Table 1 of the paper.
+
+Builds the curated service-recognition dataset: 11 micro applications in
+4 macro services with the published per-application flow counts (23 487
+flows at full scale).  A ``scale`` knob shrinks every class proportionally
+(rounding up, so no class vanishes) to keep unit tests and laptop runs
+fast while preserving the class-imbalance structure Figure 1 is about.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.flow import Flow
+from repro.traffic.apps import generate_flow
+from repro.traffic.profiles import PROFILES, AppProfile, table1_counts
+from repro.traffic.sessions import Endpoints
+
+# Address plan: clients inside 10.0.0.0/8 (matches the replay firewall's
+# default inside prefix), one /16 of server space per application.
+_CLIENT_BASE = 0x0A000000
+_SERVER_BASES = {
+    name: 0x17000000 + (i << 16) for i, name in enumerate(PROFILES)
+}
+_EPHEMERAL_LOW, _EPHEMERAL_HIGH = 49152, 65535
+
+
+@dataclass
+class TraceDataset:
+    """A labelled collection of flows plus its generation settings."""
+
+    flows: list[Flow] = field(default_factory=list)
+    scale: float = 1.0
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def labels(self) -> list[str]:
+        return [f.label for f in self.flows]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.flows:
+            out[f.label] = out.get(f.label, 0) + 1
+        return out
+
+    def by_label(self) -> dict[str, list[Flow]]:
+        out: dict[str, list[Flow]] = {}
+        for f in self.flows:
+            out.setdefault(f.label, []).append(f)
+        return out
+
+    def subset(self, labels: list[str]) -> "TraceDataset":
+        """Restrict to the given micro labels (e.g. Figure 1b's 2 classes)."""
+        keep = set(labels)
+        return TraceDataset(
+            flows=[f for f in self.flows if f.label in keep],
+            scale=self.scale,
+            seed=self.seed,
+        )
+
+
+def scaled_counts(scale: float = 1.0) -> dict[str, int]:
+    """Table 1 counts scaled by ``scale``; every class keeps >= 2 flows."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return {
+        name: max(2, math.ceil(count * scale))
+        for name, count in table1_counts().items()
+    }
+
+
+def sample_endpoints(
+    profile: AppProfile, rng: np.random.Generator
+) -> Endpoints:
+    """Random client behind the 10/8 tap talking to one of the app's servers."""
+    client_ip = _CLIENT_BASE + int(rng.integers(1, 0xFFFFFE))
+    server_ip = _SERVER_BASES[profile.name] + int(rng.integers(1, 0xFFFE))
+    client_port = int(rng.integers(_EPHEMERAL_LOW, _EPHEMERAL_HIGH + 1))
+    server_port = int(rng.choice(profile.server_ports))
+    return Endpoints(
+        client_ip=client_ip,
+        client_port=client_port,
+        server_ip=server_ip,
+        server_port=server_port,
+    )
+
+
+def generate_app_flows(
+    app: str,
+    n_flows: int,
+    seed: int = 0,
+    time_horizon: float = 3600.0,
+) -> list[Flow]:
+    """Generate ``n_flows`` labelled flows for one application."""
+    profile = PROFILES[app]
+    # zlib.crc32 gives a stable per-app stream split (hash() is salted).
+    rng = np.random.default_rng([seed, zlib.crc32(app.encode())])
+    flows = []
+    for _ in range(n_flows):
+        endpoints = sample_endpoints(profile, rng)
+        start = float(rng.uniform(0.0, time_horizon))
+        flows.append(generate_flow(profile, rng, endpoints, start))
+    return flows
+
+
+def build_service_recognition_dataset(
+    scale: float = 1.0,
+    seed: int = 0,
+    apps: list[str] | None = None,
+) -> TraceDataset:
+    """Build the Table 1 dataset (optionally scaled / restricted).
+
+    ``scale=1.0`` reproduces the exact published composition: 23 487 flows,
+    up to 4 104 per application.  ``apps`` restricts to a subset of micro
+    labels (used by the 2-class Figure 1b study).
+    """
+    counts = scaled_counts(scale)
+    if apps is not None:
+        unknown = set(apps) - set(counts)
+        if unknown:
+            raise KeyError(f"unknown applications: {sorted(unknown)}")
+        counts = {a: counts[a] for a in apps}
+    dataset = TraceDataset(scale=scale, seed=seed)
+    for app, n_flows in counts.items():
+        dataset.flows.extend(generate_app_flows(app, n_flows, seed=seed))
+    # Interleave by start time so the dataset looks like a capture.
+    dataset.flows.sort(key=lambda f: f.start_time)
+    return dataset

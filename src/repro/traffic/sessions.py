@@ -1,0 +1,324 @@
+"""Stateful session builders: application events -> wire-valid packets.
+
+The simulator layer of the reproduction.  An application generator (see
+:mod:`repro.traffic.apps`) produces a schedule of *data events* — "after a
+gap of g seconds, this side sends n payload bytes" — and the builders here
+turn that schedule into protocol-correct packet sequences:
+
+* :class:`TCPSessionBuilder` runs a real TCP state machine: three-way
+  handshake with negotiated options (MSS, window scale, SACK, timestamps),
+  sequence/acknowledgement numbers that advance with the payload, MSS
+  segmentation, delayed ACKs from the receiver, PSH on burst boundaries and
+  a FIN/ACK teardown.  This is what makes the dataset's inter-packet
+  constraints real, so that the paper's "protocol usage patterns in flows"
+  are present to be learned (and violated by weak generators).
+* :class:`UDPSessionBuilder` emits paced datagrams (with an optional
+  STUN-like binding exchange first, as conferencing apps do).
+* :class:`ICMPSessionBuilder` emits echo request/reply pairs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.flow import Flow
+from repro.net.headers import ICMPHeader, TCPFlags, TCPHeader, UDPHeader
+from repro.net.packet import Packet, build_packet
+from repro.traffic.profiles import AppProfile
+
+CLIENT = 0  # direction constants: CLIENT = client -> server ("up")
+SERVER = 1  # SERVER = server -> client ("down")
+
+
+@dataclass(frozen=True)
+class DataEvent:
+    """One application-level send: after ``gap`` seconds, ``sender`` emits
+    ``payload_len`` bytes; ``push`` marks a burst boundary (PSH flag)."""
+
+    gap: float
+    sender: int  # CLIENT or SERVER
+    payload_len: int
+    push: bool = False
+
+
+@dataclass
+class Endpoints:
+    """Addressing for one session."""
+
+    client_ip: int
+    client_port: int
+    server_ip: int
+    server_port: int
+
+
+class _Clock:
+    def __init__(self, start: float):
+        self.now = start
+
+    def advance(self, gap: float) -> float:
+        self.now += max(0.0, gap)
+        return self.now
+
+
+def _tcp_options(
+    profile: AppProfile, rng: np.random.Generator, syn: bool
+) -> bytes:
+    """Build the TCP option bytes a real stack would put on a SYN."""
+    if not syn:
+        if profile.use_tcp_timestamps:
+            tsval = int(rng.integers(1, 2**31))
+            return b"\x01\x01" + struct.pack(">BBII", 8, 10, tsval, tsval // 2)
+        return b""
+    opts = struct.pack(">BBH", 2, 4, profile.mss)  # MSS
+    if profile.window_scale:
+        opts += b"\x01" + struct.pack(">BBB", 3, 3, profile.window_scale)
+    if profile.use_sack:
+        opts += b"\x01\x01" + struct.pack(">BB", 4, 2)  # SACK permitted
+    if profile.use_tcp_timestamps:
+        tsval = int(rng.integers(1, 2**31))
+        opts += b"\x01\x01" + struct.pack(">BBII", 8, 10, tsval, 0)
+    return opts
+
+
+class TCPSessionBuilder:
+    """Emit a protocol-correct TCP conversation for a schedule of events."""
+
+    def __init__(
+        self,
+        profile: AppProfile,
+        endpoints: Endpoints,
+        rng: np.random.Generator,
+        start_time: float = 0.0,
+    ):
+        self.profile = profile
+        self.ep = endpoints
+        self.rng = rng
+        self.clock = _Clock(start_time)
+        self._packets: list[Packet] = []
+        # Per-side TCP state.
+        self._seq = [int(rng.integers(1, 2**31)), int(rng.integers(1, 2**31))]
+        self._ack = [0, 0]
+        self._ident = [int(rng.integers(0, 2**16)), int(rng.integers(0, 2**16))]
+        self._ttl = [
+            int(rng.choice(profile.client_ttl)),
+            int(rng.choice(profile.server_ttl)),
+        ]
+        self._window = [profile.client_window, profile.server_window]
+        self._unacked = [0, 0]  # segments received but not yet ACKed, per side
+        self._established = False
+        self._rtt = float(rng.uniform(0.01, 0.06))
+
+    # -- low-level emit ---------------------------------------------------
+    def _emit(self, sender: int, flags: int, payload_len: int,
+              options: bytes = b"") -> None:
+        if sender == CLIENT:
+            src_ip, dst_ip = self.ep.client_ip, self.ep.server_ip
+            sport, dport = self.ep.client_port, self.ep.server_port
+        else:
+            src_ip, dst_ip = self.ep.server_ip, self.ep.client_ip
+            sport, dport = self.ep.server_port, self.ep.client_port
+        header = TCPHeader(
+            src_port=sport,
+            dst_port=dport,
+            seq=self._seq[sender] & 0xFFFFFFFF,
+            ack=self._ack[sender] & 0xFFFFFFFF if flags & TCPFlags.ACK else 0,
+            flags=flags,
+            window=min(65535, max(1024, self._window[sender]
+                                  + int(self.rng.integers(-512, 512)))),
+            options=options,
+        )
+        ident = self._ident[sender]
+        self._ident[sender] = (ident + 1) & 0xFFFF
+        pkt = build_packet(
+            src_ip,
+            dst_ip,
+            header,
+            payload=b"\x00" * payload_len,
+            ttl=self._ttl[sender],
+            timestamp=self.clock.now,
+            identification=ident,
+            dscp=self.profile.dscp,
+        )
+        self._packets.append(pkt)
+        consumed = payload_len
+        if flags & (TCPFlags.SYN | TCPFlags.FIN):
+            consumed += 1
+        self._seq[sender] = (self._seq[sender] + consumed) & 0xFFFFFFFF
+        other = 1 - sender
+        self._ack[other] = self._seq[sender]
+
+    # -- protocol phases ---------------------------------------------------
+    def handshake(self) -> None:
+        """Three-way handshake with negotiated options."""
+        self._emit(CLIENT, int(TCPFlags.SYN), 0,
+                   _tcp_options(self.profile, self.rng, syn=True))
+        self.clock.advance(self._rtt / 2)
+        self._emit(SERVER, int(TCPFlags.SYN | TCPFlags.ACK), 0,
+                   _tcp_options(self.profile, self.rng, syn=True))
+        self.clock.advance(self._rtt / 2)
+        self._emit(CLIENT, int(TCPFlags.ACK), 0)
+        self._established = True
+
+    def send(self, event: DataEvent) -> None:
+        """Send one application event, segmenting to the negotiated MSS."""
+        if not self._established:
+            raise RuntimeError("send() before handshake()")
+        self.clock.advance(event.gap)
+        remaining = event.payload_len
+        mss = self.profile.mss
+        opts = _tcp_options(self.profile, self.rng, syn=False)
+        receiver = 1 - event.sender
+        while remaining > 0:
+            seg = min(mss, remaining)
+            remaining -= seg
+            last = remaining == 0
+            flags = int(TCPFlags.ACK)
+            if last and event.push:
+                flags |= int(TCPFlags.PSH)
+            self._emit(event.sender, flags, seg, opts)
+            self._unacked[receiver] += 1
+            # Delayed ACK: the receiver ACKs every second segment (and the
+            # final one is ACKed by whoever talks next or at teardown).
+            if self._unacked[receiver] >= 2:
+                self.clock.advance(self._rtt / 2)
+                self._emit(receiver, int(TCPFlags.ACK), 0, opts)
+                self._unacked[receiver] = 0
+            if remaining > 0:
+                pacing = self.profile.packet_interval_ms / 1000.0
+                self.clock.advance(abs(self.rng.normal(pacing, pacing / 4)))
+
+    def teardown(self) -> None:
+        """FIN from client, FIN/ACK from server, final ACK."""
+        opts = _tcp_options(self.profile, self.rng, syn=False)
+        self.clock.advance(self._rtt / 2)
+        self._emit(CLIENT, int(TCPFlags.FIN | TCPFlags.ACK), 0, opts)
+        self.clock.advance(self._rtt / 2)
+        self._emit(SERVER, int(TCPFlags.FIN | TCPFlags.ACK), 0, opts)
+        self.clock.advance(self._rtt / 2)
+        self._emit(CLIENT, int(TCPFlags.ACK), 0, opts)
+
+    def build(self, events: list[DataEvent]) -> Flow:
+        """Full session: handshake, all events, teardown."""
+        self.handshake()
+        for event in events:
+            self.send(event)
+        self.teardown()
+        return Flow(packets=self._packets, label=self.profile.name)
+
+
+class UDPSessionBuilder:
+    """Paced datagram conversation with an optional STUN-like opener."""
+
+    def __init__(
+        self,
+        profile: AppProfile,
+        endpoints: Endpoints,
+        rng: np.random.Generator,
+        start_time: float = 0.0,
+        stun_opener: bool = True,
+    ):
+        self.profile = profile
+        self.ep = endpoints
+        self.rng = rng
+        self.clock = _Clock(start_time)
+        self.stun_opener = stun_opener
+        self._packets: list[Packet] = []
+        self._ident = [int(rng.integers(0, 2**16)), int(rng.integers(0, 2**16))]
+        self._ttl = [
+            int(rng.choice(profile.client_ttl)),
+            int(rng.choice(profile.server_ttl)),
+        ]
+
+    def _emit(self, sender: int, payload_len: int) -> None:
+        if sender == CLIENT:
+            src_ip, dst_ip = self.ep.client_ip, self.ep.server_ip
+            sport, dport = self.ep.client_port, self.ep.server_port
+        else:
+            src_ip, dst_ip = self.ep.server_ip, self.ep.client_ip
+            sport, dport = self.ep.server_port, self.ep.client_port
+        header = UDPHeader(src_port=sport, dst_port=dport)
+        ident = self._ident[sender]
+        self._ident[sender] = (ident + 1) & 0xFFFF
+        pkt = build_packet(
+            src_ip,
+            dst_ip,
+            header,
+            payload=b"\x00" * payload_len,
+            ttl=self._ttl[sender],
+            timestamp=self.clock.now,
+            identification=ident,
+            dscp=self.profile.dscp,
+        )
+        self._packets.append(pkt)
+
+    def build(self, events: list[DataEvent]) -> Flow:
+        if self.stun_opener:
+            # STUN binding request/response: 20-byte header + attributes.
+            self._emit(CLIENT, 28)
+            self.clock.advance(float(self.rng.uniform(0.01, 0.05)))
+            self._emit(SERVER, 40)
+        max_datagram = 1350  # QUIC-style conservative datagram size
+        pacing = self.profile.packet_interval_ms / 1000.0
+        for event in events:
+            self.clock.advance(event.gap)
+            remaining = event.payload_len
+            while True:
+                self._emit(event.sender, min(remaining, max_datagram))
+                remaining -= max_datagram
+                if remaining <= 0:
+                    break
+                self.clock.advance(abs(self.rng.normal(pacing, pacing / 4)))
+        return Flow(packets=self._packets, label=self.profile.name)
+
+
+class ICMPSessionBuilder:
+    """Echo request/reply pairs (IoT liveness probes)."""
+
+    def __init__(
+        self,
+        profile: AppProfile,
+        endpoints: Endpoints,
+        rng: np.random.Generator,
+        start_time: float = 0.0,
+    ):
+        self.profile = profile
+        self.ep = endpoints
+        self.rng = rng
+        self.clock = _Clock(start_time)
+        self._packets: list[Packet] = []
+        self._ident = int(rng.integers(0, 2**16))
+
+    def build(self, events: list[DataEvent]) -> Flow:
+        seq = 1
+        echo_id = int(self.rng.integers(0, 2**16))
+        for event in events:
+            self.clock.advance(event.gap)
+            rest = ((echo_id & 0xFFFF) << 16) | (seq & 0xFFFF)
+            payload = b"\x00" * max(8, event.payload_len)
+            request = build_packet(
+                self.ep.client_ip,
+                self.ep.server_ip,
+                ICMPHeader(icmp_type=8, code=0, rest=rest),
+                payload=payload,
+                ttl=int(self.rng.choice(self.profile.client_ttl)),
+                timestamp=self.clock.now,
+                identification=self._ident,
+            )
+            self._ident = (self._ident + 1) & 0xFFFF
+            self.clock.advance(float(self.rng.uniform(0.005, 0.05)))
+            reply = build_packet(
+                self.ep.server_ip,
+                self.ep.client_ip,
+                ICMPHeader(icmp_type=0, code=0, rest=rest),
+                payload=payload,
+                ttl=int(self.rng.choice(self.profile.server_ttl)),
+                timestamp=self.clock.now,
+                identification=self._ident,
+            )
+            self._ident = (self._ident + 1) & 0xFFFF
+            self._packets.extend([request, reply])
+            seq += 1
+        return Flow(packets=self._packets, label=self.profile.name)

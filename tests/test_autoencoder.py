@@ -1,0 +1,97 @@
+"""Unit tests for the whitened-PCA latent codec."""
+
+import numpy as np
+import pytest
+
+from repro.core.autoencoder import LatentCodec
+
+
+@pytest.fixture
+def low_rank_data(rng):
+    """Data lying (noisily) on a 5-dimensional subspace of R^60."""
+    basis = rng.normal(size=(5, 60))
+    coeffs = rng.normal(size=(200, 5)) * np.array([5, 4, 3, 2, 1])
+    return coeffs @ basis + rng.normal(0, 0.01, size=(200, 60))
+
+
+class TestFit:
+    def test_unfitted_state(self):
+        codec = LatentCodec(8)
+        assert not codec.is_fitted
+        with pytest.raises(RuntimeError):
+            codec.encode(np.zeros((1, 4)))
+        with pytest.raises(RuntimeError):
+            codec.decode(np.zeros((1, 8)))
+
+    def test_invalid_latent_dim(self):
+        with pytest.raises(ValueError):
+            LatentCodec(0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            LatentCodec(4).fit(np.zeros((1, 10)))
+
+    def test_needs_2d(self):
+        with pytest.raises(ValueError):
+            LatentCodec(4).fit(np.zeros(10))
+
+    def test_latent_dim_capped_by_samples(self, rng):
+        codec = LatentCodec(100).fit(rng.normal(size=(10, 50)))
+        assert codec.latent_dim == 9
+
+    def test_latent_dim_capped_by_features(self, rng):
+        codec = LatentCodec(100).fit(rng.normal(size=(300, 6)))
+        assert codec.latent_dim == 6
+
+
+class TestCodecQuality:
+    def test_low_rank_reconstruction(self, low_rank_data):
+        codec = LatentCodec(5).fit(low_rank_data)
+        err = codec.reconstruction_error(low_rank_data)
+        signal = float(np.mean(low_rank_data ** 2))
+        assert err < 0.01 * signal
+
+    def test_whitened_latents_unit_variance(self, low_rank_data):
+        codec = LatentCodec(5).fit(low_rank_data)
+        Z = codec.encode(low_rank_data)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-3)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=0.05)
+
+    def test_roundtrip_on_train(self, low_rank_data):
+        codec = LatentCodec(5).fit(low_rank_data)
+        recon = codec.decode(codec.encode(low_rank_data))
+        assert np.allclose(recon, low_rank_data, atol=0.2)
+
+    def test_explained_variance_sorted(self, low_rank_data):
+        codec = LatentCodec(5).fit(low_rank_data)
+        evr = codec.explained_variance_ratio_
+        assert (np.diff(evr) <= 1e-9).all()
+        assert 0.9 < evr.sum() <= 1.0 + 1e-6
+
+    def test_more_components_lower_error(self, rng):
+        X = rng.normal(size=(100, 40))
+        err2 = LatentCodec(2).fit(X).reconstruction_error(X)
+        err20 = LatentCodec(20).fit(X).reconstruction_error(X)
+        assert err20 < err2
+
+    def test_tall_data_branch(self, rng):
+        # n > D exercises the covariance (not Gram) branch.
+        X = rng.normal(size=(500, 8))
+        codec = LatentCodec(4).fit(X)
+        Z = codec.encode(X)
+        assert Z.shape == (500, 4)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=0.1)
+
+    def test_decode_unit_gaussian_resembles_data(self, low_rank_data, rng):
+        # The whole point for diffusion: decoding N(0, I) latents must
+        # produce vectors with data-like scale.
+        codec = LatentCodec(5).fit(low_rank_data)
+        fake = codec.decode(rng.standard_normal((100, 5)))
+        assert fake.std() == pytest.approx(low_rank_data.std(), rel=0.3)
+
+    def test_ternary_input_like_nprint(self, rng):
+        X = rng.choice([-1.0, 0.0, 1.0], size=(50, 30)).astype(np.float32)
+        codec = LatentCodec(10).fit(X)
+        recon = codec.decode(codec.encode(X))
+        assert recon.shape == X.shape
+        assert np.isfinite(recon).all()

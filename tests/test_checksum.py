@@ -1,0 +1,76 @@
+"""Unit tests for the RFC 1071 Internet checksum."""
+
+import pytest
+
+from repro.net.checksum import internet_checksum, pseudo_header, verify_checksum
+
+
+class TestInternetChecksum:
+    def test_known_vector(self):
+        # Classic example from RFC 1071 §3 (words 0x0001 f203 f4f5 f6f7):
+        # sum = 0x2ddf0, folded = 0xddf2, complement = 0x220d.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_all_ones_data(self):
+        assert internet_checksum(b"\xff\xff") == 0x0000
+
+    def test_empty_input(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_odd_length_padded(self):
+        # Odd input is padded with a zero byte on the right.
+        assert internet_checksum(b"\xab") == internet_checksum(b"\xab\x00")
+
+    def test_order_within_word_matters(self):
+        assert internet_checksum(b"\x12\x34") != internet_checksum(b"\x34\x12")
+
+    def test_word_order_does_not_matter(self):
+        # One's-complement addition is commutative over 16-bit words.
+        a = internet_checksum(b"\x12\x34\x56\x78")
+        b = internet_checksum(b"\x56\x78\x12\x34")
+        assert a == b
+
+    def test_result_is_16_bit(self):
+        data = bytes(range(256)) * 64
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestVerifyChecksum:
+    def test_roundtrip_even(self):
+        data = b"\x45\x00\x00\x28\x1c\x46\x40\x00\x40\x06"
+        csum = internet_checksum(data)
+        with_csum = data + bytes([csum >> 8, csum & 0xFF])
+        assert verify_checksum(with_csum)
+
+    def test_corruption_detected(self):
+        data = b"\x45\x00\x00\x28"
+        csum = internet_checksum(data)
+        blob = bytearray(data + bytes([csum >> 8, csum & 0xFF]))
+        blob[0] ^= 0x01
+        assert not verify_checksum(bytes(blob))
+
+    def test_odd_length_roundtrip(self):
+        # Pad the data to even length first so the checksum word sits on a
+        # 16-bit boundary, as it does in real headers.
+        data = b"\x45\x00\x01\x00"
+        csum = internet_checksum(data)
+        assert verify_checksum(data + bytes([csum >> 8, csum & 0xFF]))
+
+
+class TestPseudoHeader:
+    def test_layout(self):
+        ph = pseudo_header(0x0A000001, 0xC0A80001, 6, 20)
+        assert len(ph) == 12
+        assert ph[:4] == bytes([10, 0, 0, 1])
+        assert ph[4:8] == bytes([192, 168, 0, 1])
+        assert ph[8] == 0
+        assert ph[9] == 6
+        assert ph[10:12] == bytes([0, 20])
+
+    def test_large_length(self):
+        ph = pseudo_header(0, 0, 17, 65535)
+        assert ph[10:12] == b"\xff\xff"

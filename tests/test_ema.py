@@ -1,0 +1,76 @@
+"""Unit tests for the parameter EMA and its pipeline integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
+from repro.ml.nn import Linear, Tensor
+from repro.ml.nn.ema import ExponentialMovingAverage
+from repro.traffic.dataset import generate_app_flows
+
+
+class TestEMA:
+    def test_invalid_decay(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(layer, decay=1.0)
+        with pytest.raises(ValueError):
+            ExponentialMovingAverage(layer, decay=0.0)
+
+    def test_initial_shadow_matches(self, rng):
+        layer = Linear(3, 3, rng=rng)
+        ema = ExponentialMovingAverage(layer)
+        state = ema.state()
+        assert np.allclose(state["weight"], layer.weight.data)
+
+    def test_shadow_tracks_slowly(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        ema = ExponentialMovingAverage(layer, decay=0.9)
+        original = layer.weight.data.copy()
+        layer.weight.data += 10.0
+        ema.update(layer)
+        shadow = ema.state()["weight"]
+        # Shadow moved toward the new value but not all the way.
+        assert (shadow > original).all()
+        assert (shadow < layer.weight.data).all()
+
+    def test_converges_to_constant_iterate(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        layer.weight.data[:] = 5.0
+        ema = ExponentialMovingAverage(layer, decay=0.5)
+        for _ in range(50):
+            ema.update(layer)
+        assert np.allclose(ema.state()["weight"], 5.0, atol=1e-3)
+
+    def test_copy_to(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        ema = ExponentialMovingAverage(layer, decay=0.5)
+        snapshot = ema.state()["weight"].copy()
+        layer.weight.data += 99.0
+        ema_copy_target = layer
+        ema.copy_to(ema_copy_target)
+        assert np.allclose(layer.weight.data, snapshot)
+
+    def test_warmup_correction(self, rng):
+        # Early in training the effective decay is small, so the shadow
+        # stays close to the iterate rather than the random init.
+        layer = Linear(2, 2, rng=rng)
+        ema = ExponentialMovingAverage(layer, decay=0.9999)
+        layer.weight.data[:] = 1.0
+        ema.update(layer)
+        assert abs(float(ema.state()["weight"].mean()) - 1.0) < 1.0
+
+
+class TestPipelineEMA:
+    def test_use_ema_trains_and_generates(self):
+        flows = generate_app_flows("netflix", 12, seed=55) + \
+            generate_app_flows("teams", 12, seed=56)
+        config = PipelineConfig(
+            max_packets=8, latent_dim=24, hidden=64, blocks=2,
+            timesteps=100, train_steps=150, controlnet_steps=50,
+            ddim_steps=8, seed=3, use_ema=True, ema_decay=0.99,
+        )
+        pipeline = TextToTrafficPipeline(config).fit(flows)
+        out = pipeline.generate("netflix", 3,
+                                rng=np.random.default_rng(0))
+        assert all(len(f) > 0 for f in out)

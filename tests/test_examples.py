@@ -1,0 +1,49 @@
+"""Smoke tests over the example scripts.
+
+Every example must be importable with a ``main`` entry point; the
+quickstart (the one a new user runs first) is additionally executed end
+to end.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name.removesuffix('.py')}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_all_expected_examples_present(self):
+        assert "quickstart.py" in EXAMPLE_FILES
+        assert len(EXAMPLE_FILES) >= 5
+
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_importable_with_main(self, name):
+        module = _load(name)
+        assert callable(getattr(module, "main", None)), name
+        assert module.__doc__, name  # every example documents itself
+
+    def test_quickstart_runs_end_to_end(self, tmp_path, monkeypatch,
+                                        capsys):
+        monkeypatch.chdir(tmp_path)
+        module = _load("quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "smoke" not in out  # sanity: real output, not a stub
+        assert (tmp_path / "example_outputs"
+                / "synthetic_netflix.pcap").exists()
+        assert (tmp_path / "example_outputs"
+                / "synthetic_netflix.png").exists()
+        assert "protocols on the wire: {6}" in out

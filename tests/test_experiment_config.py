@@ -1,0 +1,85 @@
+"""Tests for experiment configuration, presets and context machinery."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig, paper, preset, quick, tiny
+from repro.experiments.data import ExperimentContext, clear_contexts, get_context
+
+
+class TestPresets:
+    @pytest.mark.parametrize("factory,name", [
+        (tiny, "tiny"), (quick, "quick"), (paper, "paper"),
+    ])
+    def test_names(self, factory, name):
+        assert factory().name == name
+
+    def test_sizes_ordered(self):
+        t, q, p = tiny(), quick(), paper()
+        assert t.dataset_scale < q.dataset_scale < p.dataset_scale
+        assert t.pipeline.train_steps < q.pipeline.train_steps \
+            < p.pipeline.train_steps
+        assert t.max_packets <= q.max_packets <= p.max_packets
+
+    def test_paper_preset_matches_paper_protocol(self):
+        p = paper()
+        assert p.finetune_flows_per_class == 100  # §3.2
+        assert p.test_fraction == 0.2  # 80/20 split
+
+    def test_pipeline_max_packets_consistent(self):
+        for factory in (tiny, quick, paper):
+            cfg = factory()
+            assert cfg.pipeline.max_packets == cfg.max_packets
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError):
+            preset("gigantic")
+
+    def test_config_frozen(self):
+        cfg = tiny()
+        with pytest.raises(Exception):
+            cfg.dataset_scale = 9.9
+
+
+class TestContext:
+    def test_memoised_by_key(self):
+        a = get_context(tiny(seed=5))
+        b = get_context(tiny(seed=5))
+        c = get_context(tiny(seed=6))
+        assert a is b
+        assert a is not c
+
+    def test_clear_contexts(self):
+        a = get_context(tiny(seed=5))
+        clear_contexts()
+        b = get_context(tiny(seed=5))
+        assert a is not b
+
+    def test_split_is_disjoint_and_stratified(self):
+        ctx = get_context(tiny(seed=2))
+        train_idx, test_idx = ctx.split
+        assert set(train_idx) & set(test_idx) == set()
+        assert len(train_idx) + len(test_idx) == len(ctx.dataset)
+        train_labels = {f.label for f in ctx.train_flows}
+        test_labels = {f.label for f in ctx.test_flows}
+        assert train_labels == test_labels  # every class on both sides
+
+    def test_finetune_subset_from_train_only(self):
+        ctx = get_context(tiny(seed=2))
+        train_ids = {id(f) for f in ctx.train_flows}
+        assert all(id(f) in train_ids for f in ctx.finetune_flows)
+
+    def test_finetune_budget_respected(self):
+        config = tiny(seed=2)
+        ctx = get_context(config)
+        counts = {}
+        for f in ctx.finetune_flows:
+            counts[f.label] = counts.get(f.label, 0) + 1
+        assert max(counts.values()) <= config.finetune_flows_per_class
+
+    def test_synthetic_memoised(self):
+        ctx = get_context(tiny(seed=2))
+        # Use a tiny volume so this stays fast even on a cold context.
+        a = ctx.synthetic_gan(5)
+        b = ctx.synthetic_gan(5)
+        assert a is b

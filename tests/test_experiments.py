@@ -1,0 +1,148 @@
+"""Integration tests: the experiment harness reproduces the paper's shape.
+
+These run the ``tiny`` preset (seconds-scale models) and assert the
+*qualitative* results the paper reports — who wins, and by what kind of
+margin — not the absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    clear_contexts,
+    get_context,
+    run_control_ablation,
+    run_figure1_11class,
+    run_figure2,
+    run_replay,
+    run_speed,
+    run_table1,
+    run_table2,
+    tiny,
+)
+from repro.experiments.config import preset
+from repro.traffic.profiles import table1_counts
+
+
+@pytest.fixture(scope="module")
+def config():
+    return tiny(seed=0)
+
+
+@pytest.fixture(scope="module")
+def context(config):
+    return get_context(config)
+
+
+class TestPresets:
+    def test_preset_lookup(self):
+        assert preset("tiny").name == "tiny"
+        assert preset("quick").name == "quick"
+        assert preset("paper").name == "paper"
+        with pytest.raises(KeyError):
+            preset("nope")
+
+    def test_context_memoised(self, config, context):
+        assert get_context(config) is context
+
+
+class TestTable1(object):
+    def test_composition(self, config):
+        result = run_table1(config)
+        assert len(result.rows) == 11
+        assert result.total_paper == 23487
+        paper = table1_counts()
+        for row in result.rows:
+            assert row.flows_paper == paper[row.micro_label]
+            assert row.flows_measured >= 2
+        # Proportional scaling: biggest class stays biggest.
+        measured = {r.micro_label: r.flows_measured for r in result.rows}
+        assert max(measured, key=measured.get) == "netflix"
+        assert result.render()
+
+
+class TestTable2(object):
+    @pytest.fixture(scope="class")
+    def result(self, config):
+        return run_table2(config)
+
+    def test_six_rows(self, result):
+        assert len(result.rows) == 6
+
+    def test_real_real_nprint_beats_netflow_micro(self, result):
+        nprint = result.row("real/real", "nprint")
+        netflow = result.row("real/real", "netflow")
+        assert nprint.micro_measured > netflow.micro_measured
+        assert nprint.micro_measured > 0.8
+        assert nprint.macro_measured > 0.9
+
+    def test_ours_beats_gan_real_to_synthetic(self, result):
+        ours = result.row("real/synthetic", "ours")
+        gan = result.row("real/synthetic", "gan")
+        assert ours.micro_measured > gan.micro_measured
+        assert ours.macro_measured > gan.macro_measured
+
+    def test_ours_beats_gan_synthetic_to_real(self, result):
+        ours = result.row("synthetic/real", "ours")
+        gan = result.row("synthetic/real", "gan")
+        assert ours.micro_measured > gan.micro_measured
+
+    def test_real_real_is_upper_bound(self, result):
+        rr = result.row("real/real", "nprint")
+        for scenario in ("real/synthetic", "synthetic/real"):
+            assert rr.micro_measured >= result.row(scenario, "ours").micro_measured
+
+    def test_render(self, result):
+        text = result.render()
+        assert "real/synthetic (ours)" in text
+
+
+class TestFigure1(object):
+    def test_ours_most_balanced(self, config):
+        result = run_figure1_11class(config)
+        assert result.ours.entropy >= result.gan.entropy
+        assert result.ours.entropy > 0.95  # near-uniform by construction
+        assert result.ours.imbalance < 1.5
+        assert result.render()
+
+
+class TestFigure2(object):
+    def test_synthetic_compliance_high(self, config, tmp_path):
+        result = run_figure2(config, output_dir=tmp_path,
+                             image_classes=("amazon",))
+        # Single-protocol classes must comply near-perfectly.
+        by_label = {r.label: r for r in result.rows}
+        for label in ("netflix", "amazon", "teams", "zoom"):
+            assert by_label[label].synthetic_compliance >= 0.9, label
+        assert (tmp_path / "figure2_amazon_synthetic.png").exists()
+        assert result.render()
+
+
+class TestSpeedAndReplay(object):
+    def test_speed_monotonic_in_steps(self, config):
+        result = run_speed(config, n_flows=4, ddim_steps=(10, 4),
+                           include_full_ddpm=True)
+        assert len(result.rows) == 3
+        ddpm = result.rows[0]
+        fastest = result.rows[-1]
+        assert fastest.flows_per_second > ddpm.flows_per_second
+        assert all(np.isfinite(r.fidelity) for r in result.rows)
+
+    def test_replay_ordering(self, config):
+        result = run_replay(config, flows_per_source=10)
+        real = result.row("real")
+        ns = result.row("netshare-gan")
+        repaired = result.row("ours+state-repair")
+        assert real.compliance == pytest.approx(1.0)
+        assert real.compliance >= result.row("ours").compliance
+        assert repaired.compliance >= 0.9
+        assert repaired.compliance > ns.compliance
+
+
+class TestAblations(object):
+    def test_control_ablation_ordering(self, config):
+        result = run_control_ablation(config, n_per_class=6)
+        hard = result.value("controlnet+hard")
+        none = result.value("none")
+        assert hard >= none
+        assert hard >= 0.9

@@ -1,0 +1,249 @@
+"""Tests for the §4 research-agenda extensions: VPN tunnel substrate,
+traffic-to-traffic translation, and anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnomalyScorer,
+    PipelineConfig,
+    TextToTrafficPipeline,
+    TrafficTranslator,
+)
+from repro.net.flow import FlowKey
+from repro.net.headers import IPProto
+from repro.traffic import generate_app_flows
+from repro.traffic.vpn import (
+    VPNTunnel,
+    WIREGUARD_PORT,
+    tunnel_payload_length,
+    vpn_dataset,
+)
+
+
+class TestVPNTunnel:
+    @pytest.fixture(scope="class")
+    def inner(self):
+        return generate_app_flows("netflix", 3, seed=51)
+
+    def test_payload_length_padding(self):
+        assert tunnel_payload_length(40) == 48 + 32
+        assert tunnel_payload_length(48) == 48 + 32
+        assert tunnel_payload_length(49) == 64 + 32
+        assert tunnel_payload_length(1500) == 1504 + 32
+
+    def test_all_packets_become_udp(self, inner):
+        tunnel = VPNTunnel()
+        outer = tunnel.encapsulate(inner[0])
+        assert len(outer) == len(inner[0])
+        assert all(p.ip.proto == IPProto.UDP for p in outer.packets)
+
+    def test_single_tunnel_five_tuple(self, inner):
+        outer = VPNTunnel().encapsulate(inner[0])
+        keys = {FlowKey.from_packet(p) for p in outer.packets}
+        assert len(keys) == 1
+        ports = {p.dst_port for p in outer.packets} | \
+            {p.src_port for p in outer.packets}
+        assert WIREGUARD_PORT in ports
+
+    def test_timing_preserved(self, inner):
+        flow = inner[0]
+        outer = VPNTunnel().encapsulate(flow)
+        for a, b in zip(flow.packets, outer.packets):
+            assert a.timestamp == b.timestamp
+
+    def test_direction_preserved(self, inner):
+        flow = inner[0]
+        tunnel = VPNTunnel()
+        outer = tunnel.encapsulate(flow)
+        client = flow.packets[0].ip.src_ip
+        for a, b in zip(flow.packets, outer.packets):
+            outbound_inner = a.ip.src_ip == client
+            outbound_outer = b.ip.src_ip == tunnel.client_ip
+            assert outbound_inner == outbound_outer
+
+    def test_sizes_padded_monotone(self, inner):
+        flow = inner[0]
+        outer = VPNTunnel().encapsulate(flow)
+        for a, b in zip(flow.packets, outer.packets):
+            assert b.total_length >= a.total_length  # overhead added
+
+    def test_label_suffix(self, inner):
+        outer = VPNTunnel().encapsulate(inner[0])
+        assert outer.label == "netflix-vpn"
+
+    def test_header_idiosyncrasies_erased(self, inner):
+        outer = VPNTunnel(ttl=64).encapsulate(inner[0])
+        assert {p.ip.ttl for p in outer.packets} == {64}
+        assert {p.ip.dscp for p in outer.packets} == {0}
+
+    def test_vpn_dataset_distinct_ports(self, inner):
+        tunnelled = vpn_dataset(inner, rng=np.random.default_rng(0))
+        client_ports = set()
+        for flow in tunnelled:
+            first = flow.packets[0]
+            client_ports.add(first.src_port)
+        assert len(client_ports) == len(inner)
+
+    def test_empty_flow(self):
+        from repro.net.flow import Flow
+        out = VPNTunnel().encapsulate(Flow(label="x"))
+        assert len(out) == 0
+        assert out.label == "x-vpn"
+
+
+@pytest.fixture(scope="module")
+def translation_setup():
+    """Pipeline trained on netflix, netflix-vpn, youtube (the §4 setup)."""
+    netflix = generate_app_flows("netflix", 20, seed=61)
+    youtube = generate_app_flows("youtube", 20, seed=62)
+    netflix_vpn = vpn_dataset(
+        generate_app_flows("netflix", 20, seed=63),
+        rng=np.random.default_rng(1),
+    )
+    train = []
+    for flows in (netflix, youtube, netflix_vpn):
+        train.extend(flows)
+    pipeline = TextToTrafficPipeline(PipelineConfig(
+        max_packets=12, latent_dim=48, hidden=96, blocks=3,
+        timesteps=150, train_steps=350, controlnet_steps=100,
+        ddim_steps=12, seed=8,
+    )).fit(train)
+    return pipeline, netflix, netflix_vpn, youtube
+
+
+class TestTrafficTranslator:
+    def test_requires_fitted_codec(self):
+        with pytest.raises(ValueError):
+            TrafficTranslator(TextToTrafficPipeline(PipelineConfig()))
+
+    def test_direction_estimation(self, translation_setup):
+        pipeline, netflix, netflix_vpn, _ = translation_setup
+        translator = TrafficTranslator(pipeline)
+        direction = translator.condition_direction(
+            netflix, netflix_vpn, "plain", "vpn")
+        assert direction.norm > 0
+        assert direction.support == 20
+        assert direction.target_condition == "vpn"
+
+    def test_empty_sets_rejected(self, translation_setup):
+        pipeline, netflix, *_ = translation_setup
+        translator = TrafficTranslator(pipeline)
+        with pytest.raises(ValueError):
+            translator.condition_direction([], netflix)
+
+    def test_vpn_youtube_translation(self, translation_setup):
+        """The §4 example: netflix + netflix-vpn + youtube -> youtube-vpn."""
+        pipeline, netflix, netflix_vpn, youtube = translation_setup
+        translator = TrafficTranslator(pipeline)
+        direction = translator.condition_direction(
+            netflix, netflix_vpn, "plain", "vpn")
+        translated = translator.translate(youtube[:8], direction)
+        assert all(f.label == "youtube-vpn" for f in translated)
+        non_empty = [f for f in translated if len(f)]
+        assert len(non_empty) >= 6
+        # Translated flows must look like tunnel traffic: UDP-dominant
+        # (real VPN flows are all-UDP; untranslated youtube is mixed with
+        # a TCP majority).
+        udp_dominant = [
+            f for f in non_empty if f.dominant_protocol == IPProto.UDP
+        ]
+        assert len(udp_dominant) >= 0.7 * len(non_empty)
+
+    def test_zero_strength_is_near_identity(self, translation_setup):
+        pipeline, netflix, netflix_vpn, youtube = translation_setup
+        translator = TrafficTranslator(pipeline)
+        direction = translator.condition_direction(netflix, netflix_vpn)
+        out = translator.translate(youtube[:4], direction, strength=0.0,
+                                   label_suffix="")
+        # Strength 0 reduces to a codec round trip: protocol preserved.
+        for original, round_tripped in zip(youtube[:4], out):
+            if len(round_tripped):
+                assert round_tripped.dominant_protocol == \
+                    original.dominant_protocol
+
+    def test_translate_empty_list(self, translation_setup):
+        pipeline, netflix, netflix_vpn, _ = translation_setup
+        translator = TrafficTranslator(pipeline)
+        direction = translator.condition_direction(netflix, netflix_vpn)
+        assert translator.translate([], direction) == []
+
+
+class TestAnomalyScorer:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        flows = []
+        for app in ("netflix", "teams"):
+            flows.extend(generate_app_flows(app, 20, seed=71))
+        pipeline = TextToTrafficPipeline(PipelineConfig(
+            max_packets=12, latent_dim=32, hidden=96, blocks=3,
+            timesteps=150, train_steps=300, controlnet_steps=100,
+            ddim_steps=12, seed=9,
+        )).fit(flows)
+        return pipeline, flows
+
+    def test_requires_fitted(self):
+        with pytest.raises(ValueError):
+            AnomalyScorer(TextToTrafficPipeline(PipelineConfig()))
+
+    def test_in_distribution_scores_low(self, fitted):
+        pipeline, _ = fitted
+        calibration = (generate_app_flows("netflix", 15, seed=101)
+                       + generate_app_flows("teams", 15, seed=102))
+        scorer = AnomalyScorer(pipeline).fit(calibration)
+        in_dist = generate_app_flows("netflix", 10, seed=72)
+        anomalous = vpn_dataset(generate_app_flows("other", 10, seed=73))
+        in_scores = scorer.score(in_dist)
+        out_scores = scorer.score(anomalous)
+        assert np.median(out_scores) > 10 * np.median(in_scores)
+
+    def test_score_before_fit_raises(self, fitted):
+        pipeline, _ = fitted
+        with pytest.raises(RuntimeError):
+            AnomalyScorer(pipeline).score([])
+
+    def test_detect_api(self, fitted):
+        pipeline, train = fitted
+        scorer = AnomalyScorer(pipeline)
+        # Calibrate on *held-out* clean flows (the codec memorises its
+        # fine-tuning set, which would mis-calibrate the statistics).
+        calibration = (generate_app_flows("netflix", 15, seed=101)
+                       + generate_app_flows("teams", 15, seed=102))
+        scorer.fit_threshold(calibration, quantile=0.95)
+        anomalous = vpn_dataset(generate_app_flows("other", 10, seed=74))
+        report = scorer.detect(anomalous)
+        assert report.flags.mean() >= 0.8
+        clean = scorer.detect(generate_app_flows("netflix", 10, seed=75))
+        assert clean.flags.mean() <= 0.3
+
+    def test_unseen_app_scores_above_seen(self, fitted):
+        pipeline, _ = fitted
+        calibration = (generate_app_flows("netflix", 15, seed=101)
+                       + generate_app_flows("teams", 15, seed=102))
+        scorer = AnomalyScorer(pipeline).fit(calibration)
+        seen = scorer.score(generate_app_flows("teams", 10, seed=103))
+        unseen = scorer.score(generate_app_flows("zoom", 10, seed=104))
+        assert np.median(unseen) > np.median(seen)
+
+    def test_detect_before_threshold_raises(self, fitted):
+        pipeline, _ = fitted
+        with pytest.raises(RuntimeError):
+            AnomalyScorer(pipeline).detect([])
+
+    def test_threshold_validation(self, fitted):
+        pipeline, train = fitted
+        scorer = AnomalyScorer(pipeline)
+        with pytest.raises(ValueError):
+            scorer.fit_threshold(train, quantile=0.0)
+        with pytest.raises(ValueError):
+            scorer.fit_threshold([])
+
+    def test_empty_score(self, fitted):
+        pipeline, train = fitted
+        scorer = AnomalyScorer(pipeline).fit(train)
+        assert scorer.score([]).size == 0
+
+    def test_fit_empty_raises(self, fitted):
+        pipeline, _ = fitted
+        with pytest.raises(ValueError):
+            AnomalyScorer(pipeline).fit([])

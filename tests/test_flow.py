@@ -1,0 +1,114 @@
+"""Unit tests for flows, flow keys and flow assembly."""
+
+import pytest
+
+from repro.net.flow import Flow, FlowKey, assemble_flows
+from repro.net.headers import TCPHeader, UDPHeader
+from repro.net.packet import build_packet
+
+
+def _pkt(src, dst, sport, dport, ts, proto="tcp", payload=b""):
+    if proto == "tcp":
+        transport = TCPHeader(src_port=sport, dst_port=dport)
+    else:
+        transport = UDPHeader(src_port=sport, dst_port=dport)
+    return build_packet(src, dst, transport, payload=payload, timestamp=ts)
+
+
+class TestFlowKey:
+    def test_direction_insensitive(self):
+        a = FlowKey.from_packet(_pkt(1, 2, 1000, 80, 0.0))
+        b = FlowKey.from_packet(_pkt(2, 1, 80, 1000, 0.1))
+        assert a == b
+
+    def test_distinct_ports_distinct_keys(self):
+        a = FlowKey.from_packet(_pkt(1, 2, 1000, 80, 0.0))
+        b = FlowKey.from_packet(_pkt(1, 2, 1001, 80, 0.0))
+        assert a != b
+
+    def test_proto_distinguishes(self):
+        a = FlowKey.from_packet(_pkt(1, 2, 1000, 80, 0.0, "tcp"))
+        b = FlowKey.from_packet(_pkt(1, 2, 1000, 80, 0.0, "udp"))
+        assert a != b
+
+    def test_hashable(self):
+        key = FlowKey.from_packet(_pkt(1, 2, 3, 4, 0.0))
+        assert key in {key}
+
+
+class TestFlowProperties:
+    def test_len_and_iter(self, sample_flow):
+        assert len(sample_flow) == 5
+        assert len(list(sample_flow)) == 5
+
+    def test_empty_flow_key_raises(self):
+        with pytest.raises(ValueError):
+            Flow().key
+
+    def test_duration(self, sample_flow):
+        assert sample_flow.duration == pytest.approx(0.04)
+
+    def test_single_packet_duration_zero(self, tcp_packet):
+        assert Flow(packets=[tcp_packet]).duration == 0.0
+
+    def test_total_bytes_positive(self, sample_flow):
+        assert sample_flow.total_bytes >= 5 * (20 + 20 + 100)
+
+    def test_dominant_protocol_majority(self):
+        pkts = [_pkt(1, 2, 3, 4, i * 0.1, "udp") for i in range(3)]
+        pkts.append(_pkt(1, 2, 3, 4, 0.9, "tcp"))
+        assert Flow(packets=pkts).dominant_protocol == 17
+
+    def test_dominant_protocol_empty_raises(self):
+        with pytest.raises(ValueError):
+            Flow().dominant_protocol
+
+    def test_truncated(self, sample_flow):
+        t = sample_flow.truncated(2)
+        assert len(t) == 2
+        assert t.label == sample_flow.label
+        assert len(sample_flow) == 5  # original untouched
+
+    def test_interarrival_times(self, sample_flow):
+        gaps = sample_flow.interarrival_times()
+        assert len(gaps) == 4
+        assert all(g == pytest.approx(0.01) for g in gaps)
+
+
+class TestAssembleFlows:
+    def test_groups_by_five_tuple(self):
+        stream = [
+            _pkt(1, 2, 1000, 80, 0.0),
+            _pkt(3, 4, 1000, 80, 0.1),
+            _pkt(2, 1, 80, 1000, 0.2),  # reverse direction of flow 1
+        ]
+        flows = assemble_flows(stream)
+        assert len(flows) == 2
+        lengths = sorted(len(f) for f in flows)
+        assert lengths == [1, 2]
+
+    def test_timeout_splits_flow(self):
+        stream = [
+            _pkt(1, 2, 1000, 80, 0.0),
+            _pkt(1, 2, 1000, 80, 100.0),  # > 60s gap
+        ]
+        flows = assemble_flows(stream, timeout=60.0)
+        assert len(flows) == 2
+
+    def test_within_timeout_stays_joined(self):
+        stream = [
+            _pkt(1, 2, 1000, 80, 0.0),
+            _pkt(1, 2, 1000, 80, 59.0),
+        ]
+        assert len(assemble_flows(stream, timeout=60.0)) == 1
+
+    def test_sorted_by_start_time(self):
+        stream = [
+            _pkt(5, 6, 1, 2, 10.0),
+            _pkt(1, 2, 3, 4, 1.0),
+        ]
+        flows = assemble_flows(stream)
+        assert flows[0].start_time <= flows[1].start_time
+
+    def test_empty_stream(self):
+        assert assemble_flows([]) == []

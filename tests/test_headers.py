@@ -1,0 +1,215 @@
+"""Unit tests for IPv4/TCP/UDP/ICMP header serialisation."""
+
+import struct
+
+import pytest
+
+from repro.net.checksum import internet_checksum, pseudo_header, verify_checksum
+from repro.net.headers import (
+    ICMPHeader,
+    IPProto,
+    IPv4Header,
+    TCPFlags,
+    TCPHeader,
+    UDPHeader,
+)
+
+
+class TestIPv4Header:
+    def test_pack_length_no_options(self):
+        assert len(IPv4Header(src_ip=1, dst_ip=2).pack()) == 20
+
+    def test_pack_pads_options_to_word(self):
+        h = IPv4Header(options=b"\x01\x01\x01")  # 3 bytes -> padded to 4
+        packed = h.pack()
+        assert len(packed) == 24
+        assert h.ihl == 6
+
+    def test_version_and_ihl_in_first_byte(self):
+        packed = IPv4Header().pack()
+        assert packed[0] == (4 << 4) | 5
+
+    def test_checksum_is_valid(self):
+        packed = IPv4Header(src_ip=0x0A000001, dst_ip=0x08080808,
+                            ttl=63, identification=7).pack()
+        assert verify_checksum(packed)
+
+    def test_total_length_derived_from_payload(self):
+        packed = IPv4Header().pack(payload_length=100)
+        total = struct.unpack(">H", packed[2:4])[0]
+        assert total == 120
+
+    def test_total_length_pinned(self):
+        packed = IPv4Header(total_length=999).pack(payload_length=5)
+        assert struct.unpack(">H", packed[2:4])[0] == 999
+
+    def test_roundtrip_all_fields(self):
+        h = IPv4Header(
+            src_ip=0xC0A80101, dst_ip=0x0A0B0C0D, proto=17, ttl=12,
+            identification=0xBEEF, dscp=46, ecn=1, flags=0x2,
+            fragment_offset=100, options=b"\x94\x04\x00\x00",
+        )
+        back = IPv4Header.unpack(h.pack())
+        assert back.src_ip == h.src_ip
+        assert back.dst_ip == h.dst_ip
+        assert back.proto == 17
+        assert back.ttl == 12
+        assert back.identification == 0xBEEF
+        assert back.dscp == 46
+        assert back.ecn == 1
+        assert back.flags == 0x2
+        assert back.fragment_offset == 100
+        assert back.options == b"\x94\x04\x00\x00"
+
+    def test_unpack_truncated_raises(self):
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(b"\x45\x00")
+
+    def test_unpack_bad_ihl_raises(self):
+        data = bytearray(IPv4Header().pack())
+        data[0] = (4 << 4) | 3  # IHL 3 < 5
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(bytes(data))
+
+    def test_unpack_truncated_options_raises(self):
+        data = IPv4Header(options=b"\x01" * 8).pack()
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(data[:22])
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("ttl", 256), ("proto", -1), ("src_ip", 2**32),
+         ("identification", 2**16), ("fragment_offset", 2**13),
+         ("dscp", 64), ("ecn", 4), ("flags", 8)],
+    )
+    def test_out_of_range_fields_raise(self, field, value):
+        h = IPv4Header(**{field: value})
+        with pytest.raises(ValueError):
+            h.pack()
+
+    def test_oversized_options_raise(self):
+        with pytest.raises(ValueError):
+            IPv4Header(options=b"\x00" * 41).pack()
+
+
+class TestTCPHeader:
+    def test_pack_length_no_options(self):
+        assert len(TCPHeader().pack()) == 20
+
+    def test_data_offset_reflects_options(self):
+        h = TCPHeader(options=b"\x02\x04\x05\xb4")
+        assert h.data_offset == 6
+        packed = h.pack()
+        assert (packed[12] >> 4) == 6
+
+    def test_pseudo_header_checksum_valid(self):
+        src, dst = 0x0A000001, 0x08080808
+        payload = b"hello world!"
+        packed = TCPHeader(src_port=1234, dst_port=80, seq=42).pack(
+            src, dst, payload)
+        pseudo = pseudo_header(src, dst, int(IPProto.TCP),
+                               len(packed) + len(payload))
+        assert verify_checksum(pseudo + packed + payload)
+
+    def test_roundtrip_all_fields(self):
+        h = TCPHeader(
+            src_port=50000, dst_port=443, seq=0xDEADBEEF, ack=0xFEEDFACE,
+            flags=int(TCPFlags.SYN | TCPFlags.ACK), window=29200,
+            urgent_pointer=7, options=b"\x02\x04\x05\xb4\x01\x03\x03\x07",
+        )
+        back = TCPHeader.unpack(h.pack())
+        assert back.src_port == 50000
+        assert back.dst_port == 443
+        assert back.seq == 0xDEADBEEF
+        assert back.ack == 0xFEEDFACE
+        assert back.flags == int(TCPFlags.SYN | TCPFlags.ACK)
+        assert back.window == 29200
+        assert back.urgent_pointer == 7
+        assert back.options == h.options
+
+    def test_flags_enum_values(self):
+        assert int(TCPFlags.FIN) == 1
+        assert int(TCPFlags.SYN) == 2
+        assert int(TCPFlags.RST) == 4
+        assert int(TCPFlags.PSH) == 8
+        assert int(TCPFlags.ACK) == 16
+        assert int(TCPFlags.URG) == 32
+
+    def test_unpack_truncated_raises(self):
+        with pytest.raises(ValueError):
+            TCPHeader.unpack(b"\x00" * 19)
+
+    def test_unpack_bad_offset_raises(self):
+        data = bytearray(TCPHeader().pack())
+        data[12] = 4 << 4
+        with pytest.raises(ValueError):
+            TCPHeader.unpack(bytes(data))
+
+    def test_oversized_options_raise(self):
+        with pytest.raises(ValueError):
+            TCPHeader(options=b"\x00" * 41).pack()
+
+    def test_seq_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            TCPHeader(seq=2**32).pack()
+
+
+class TestUDPHeader:
+    def test_pack_length(self):
+        assert len(UDPHeader().pack()) == 8
+
+    def test_length_derived_from_payload(self):
+        packed = UDPHeader(src_port=1, dst_port=2).pack(payload=b"x" * 32)
+        assert struct.unpack(">H", packed[4:6])[0] == 40
+
+    def test_length_pinned(self):
+        packed = UDPHeader(length=100).pack(payload=b"x")
+        assert struct.unpack(">H", packed[4:6])[0] == 100
+
+    def test_checksum_never_zero(self):
+        # RFC 768: transmitted zero means "no checksum"; generators must
+        # send 0xFFFF instead when the sum comes out zero.
+        packed = UDPHeader(src_port=0, dst_port=0, length=0).pack(0, 0, b"")
+        csum = struct.unpack(">H", packed[6:8])[0]
+        assert csum != 0
+
+    def test_roundtrip(self):
+        back = UDPHeader.unpack(UDPHeader(src_port=53, dst_port=3333).pack())
+        assert back.src_port == 53
+        assert back.dst_port == 3333
+
+    def test_unpack_truncated_raises(self):
+        with pytest.raises(ValueError):
+            UDPHeader.unpack(b"\x00" * 7)
+
+    def test_pseudo_header_checksum_valid(self):
+        src, dst = 1, 2
+        payload = b"dns query"
+        packed = UDPHeader(src_port=53, dst_port=53).pack(src, dst, payload)
+        pseudo = pseudo_header(src, dst, int(IPProto.UDP), 8 + len(payload))
+        assert verify_checksum(pseudo + packed + payload)
+
+
+class TestICMPHeader:
+    def test_pack_length(self):
+        assert len(ICMPHeader().pack()) == 8
+
+    def test_checksum_valid(self):
+        packed = ICMPHeader(icmp_type=8, code=0, rest=0x12345678).pack(
+            b"ping payload")
+        assert verify_checksum(packed + b"ping payload")
+
+    def test_roundtrip(self):
+        h = ICMPHeader(icmp_type=0, code=3, rest=0xCAFEBABE)
+        back = ICMPHeader.unpack(h.pack())
+        assert back.icmp_type == 0
+        assert back.code == 3
+        assert back.rest == 0xCAFEBABE
+
+    def test_unpack_truncated_raises(self):
+        with pytest.raises(ValueError):
+            ICMPHeader.unpack(b"\x08\x00")
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            ICMPHeader(icmp_type=256).pack()

@@ -1,0 +1,53 @@
+"""Tests for image-grid composition (Figure 2 comparison rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import compose_grid, ternary_to_rgb
+
+
+class TestComposeGrid:
+    def _img(self, h, w, seed=0):
+        rng = np.random.default_rng(seed)
+        return ternary_to_rgb(rng.choice([-1, 0, 1], size=(h, w)))
+
+    def test_vertical_stack_with_band(self):
+        grid = compose_grid([self._img(4, 8), self._img(6, 8)], gap=3)
+        assert grid.shape == (4 + 3 + 6, 8, 3)
+        # Separator band is the gap color.
+        assert (grid[4:7] == 255).all()
+
+    def test_single_image_unchanged(self):
+        img = self._img(5, 7)
+        grid = compose_grid([img])
+        assert (grid == img).all()
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compose_grid([self._img(4, 8), self._img(4, 9)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compose_grid([])
+
+    def test_non_rgb_rejected(self):
+        with pytest.raises(ValueError):
+            compose_grid([np.zeros((4, 4), dtype=np.uint8)])
+
+    def test_custom_gap_color(self):
+        grid = compose_grid([self._img(2, 4), self._img(2, 4)],
+                            gap=1, gap_color=(0, 0, 0))
+        assert (grid[2] == 0).all()
+
+    def test_figure2_comparison_written(self, tmp_path):
+        from repro.experiments import run_figure2, tiny
+
+        result = run_figure2(tiny(seed=0), output_dir=tmp_path,
+                             image_classes=("amazon",))
+        assert "amazon-comparison" in result.image_paths
+        from repro.imaging.png import read_png
+
+        img = read_png(result.image_paths["amazon-comparison"])
+        # Two stacked flow images + separator.
+        assert img.shape[0] > 2 * 12
+        assert img.shape[1] == 1088

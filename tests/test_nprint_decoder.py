@@ -1,0 +1,171 @@
+"""Unit tests for the nprint decoder and repair pass."""
+
+import numpy as np
+import pytest
+
+from repro.net.headers import TCPFlags
+from repro.nprint.decoder import (
+    NprintDecodeError,
+    decode_flow,
+    decode_packet,
+    infer_transport,
+    is_vacant_row,
+    read_field,
+    region_occupancy,
+)
+from repro.nprint.encoder import encode_flow, encode_packet
+from repro.nprint.fields import FIELDS, NPRINT_BITS, VACANT
+
+
+class TestRoundtrip:
+    def test_tcp_fields_survive(self, tcp_packet):
+        dec = decode_packet(encode_packet(tcp_packet))
+        assert dec.ip.src_ip == tcp_packet.ip.src_ip
+        assert dec.ip.ttl == tcp_packet.ip.ttl
+        assert dec.transport.src_port == tcp_packet.transport.src_port
+        assert dec.transport.seq == tcp_packet.transport.seq
+        assert dec.transport.flags == tcp_packet.transport.flags
+        assert dec.transport.window == tcp_packet.transport.window
+        assert dec.transport.options == tcp_packet.transport.options
+
+    def test_payload_length_preserved(self, tcp_packet):
+        dec = decode_packet(encode_packet(tcp_packet))
+        assert len(dec.payload) == len(tcp_packet.payload)
+
+    def test_udp_roundtrip(self, udp_packet):
+        dec = decode_packet(encode_packet(udp_packet))
+        assert dec.transport.dst_port == 3478
+        assert len(dec.payload) == 120
+
+    def test_icmp_roundtrip(self, icmp_packet):
+        dec = decode_packet(encode_packet(icmp_packet))
+        assert dec.transport.icmp_type == 8
+        assert dec.transport.rest == 0x00010001
+
+    def test_strict_mode_accepts_clean_rows(self, tcp_packet):
+        decode_packet(encode_packet(tcp_packet), strict=True)
+
+    def test_decoded_packet_serialises(self, tcp_packet):
+        dec = decode_packet(encode_packet(tcp_packet))
+        wire = dec.to_bytes()
+        assert len(wire) == dec.total_length
+
+
+class TestRepairSemantics:
+    def test_proto_field_contradiction_repaired(self, tcp_packet):
+        row = encode_packet(tcp_packet)
+        fs = FIELDS["ipv4.proto"]
+        row[fs.start:fs.stop] = 0  # declared proto 0, TCP region populated
+        dec = decode_packet(row)
+        assert dec.ip.proto == 6  # region vote wins
+
+    def test_proto_field_contradiction_strict_raises(self, tcp_packet):
+        row = encode_packet(tcp_packet)
+        fs = FIELDS["ipv4.proto"]
+        row[fs.start:fs.stop] = 0
+        with pytest.raises(NprintDecodeError):
+            decode_packet(row, strict=True)
+
+    def test_bad_version_strict_raises(self, tcp_packet):
+        row = encode_packet(tcp_packet)
+        fs = FIELDS["ipv4.version"]
+        row[fs.start:fs.stop] = np.array([0, 1, 1, 0], dtype=np.int8)
+        with pytest.raises(NprintDecodeError):
+            decode_packet(row, strict=True)
+        # Non-strict repairs to version 4.
+        assert decode_packet(row).ip.version == 4
+
+    def test_all_vacant_raises(self):
+        with pytest.raises(NprintDecodeError):
+            decode_packet(np.full(NPRINT_BITS, VACANT, dtype=np.int8))
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            decode_packet(np.zeros(100, dtype=np.int8))
+
+    def test_total_length_clamped(self, tcp_packet):
+        row = encode_packet(tcp_packet)
+        fs = FIELDS["ipv4.total_length"]
+        row[fs.start:fs.stop] = 1  # declared 65535
+        dec = decode_packet(row)
+        assert dec.total_length <= 65535
+
+    def test_checksums_recomputed(self, tcp_packet):
+        row = encode_packet(tcp_packet)
+        fs = FIELDS["ipv4.checksum"]
+        row[fs.start:fs.stop] = 1  # garbage checksum bits
+        dec = decode_packet(row)
+        from repro.net.checksum import verify_checksum
+        wire = dec.to_bytes()
+        assert verify_checksum(wire[:20])
+
+
+class TestHelpers:
+    def test_read_field(self, tcp_packet):
+        row = encode_packet(tcp_packet)
+        assert read_field(row, "tcp.dst_port") == 443
+        assert read_field(row, "ipv4.ttl") == 64
+
+    def test_region_occupancy(self, udp_packet):
+        occ = region_occupancy(encode_packet(udp_packet))
+        assert occ["udp"] == 1.0
+        assert occ["tcp"] == 0.0
+        assert 0 < occ["ipv4"] <= 1.0
+
+    def test_infer_transport(self, tcp_packet, udp_packet, icmp_packet):
+        assert infer_transport(encode_packet(tcp_packet)) == 6
+        assert infer_transport(encode_packet(udp_packet)) == 17
+        assert infer_transport(encode_packet(icmp_packet)) == 1
+
+    def test_infer_transport_none_for_bare_ip(self):
+        row = np.full(NPRINT_BITS, VACANT, dtype=np.int8)
+        row[:160] = 0  # only the IPv4 fixed header
+        assert infer_transport(row) is None
+
+    def test_is_vacant_row(self, tcp_packet):
+        assert is_vacant_row(np.full(NPRINT_BITS, VACANT, dtype=np.int8))
+        assert not is_vacant_row(encode_packet(tcp_packet))
+
+
+class TestDecodeFlow:
+    def test_roundtrip_flow(self, sample_flow):
+        m = encode_flow(sample_flow, max_packets=8)
+        result = decode_flow(m, label="sample")
+        assert len(result.flow) == 5
+        assert result.flow.label == "sample"
+        assert result.skipped_rows == 0
+
+    def test_gaps_applied(self, sample_flow):
+        m = encode_flow(sample_flow, max_packets=8)
+        gaps = np.array([0, 1, 1, 1, 1, 0, 0, 0], dtype=float)
+        result = decode_flow(m, gaps=gaps, start_time=100.0)
+        ts = [p.timestamp for p in result.flow.packets]
+        assert ts[0] == 100.0
+        assert ts[1] == pytest.approx(101.0)
+        assert ts[4] == pytest.approx(104.0)
+
+    def test_default_spacing(self, sample_flow):
+        m = encode_flow(sample_flow, max_packets=8)
+        result = decode_flow(m)
+        gaps = result.flow.interarrival_times()
+        assert all(g == pytest.approx(0.001) for g in gaps)
+
+    def test_padding_terminates(self, sample_flow):
+        m = encode_flow(sample_flow, max_packets=8)
+        # A stray packet row after padding must not be decoded.
+        m[7] = m[0]
+        result = decode_flow(m)
+        assert len(result.flow) == 5
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            decode_flow(np.zeros((4, 10), dtype=np.int8))
+
+    def test_strict_propagates(self, sample_flow):
+        m = encode_flow(sample_flow, max_packets=8)
+        fs = FIELDS["ipv4.version"]
+        m[2, fs.start:fs.stop] = np.array([0, 0, 0, 1], dtype=np.int8)
+        with pytest.raises(NprintDecodeError):
+            decode_flow(m, strict=True)
+        lenient = decode_flow(m)
+        assert len(lenient.flow) == 5

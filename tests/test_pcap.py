@@ -1,0 +1,143 @@
+"""Unit tests for the pcap reader/writer."""
+
+import io
+import struct
+
+import pytest
+
+from repro.net.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW,
+    PCAP_MAGIC,
+    PcapError,
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+
+
+class TestWriter:
+    def test_global_header(self):
+        buf = io.BytesIO()
+        PcapWriter(buf)
+        header = buf.getvalue()
+        assert len(header) == 24
+        magic, major, minor = struct.unpack("<IHH", header[:8])
+        assert magic == PCAP_MAGIC
+        assert (major, minor) == (2, 4)
+        linktype = struct.unpack("<I", header[20:24])[0]
+        assert linktype == LINKTYPE_RAW
+
+    def test_timestamp_precision(self, tcp_packet):
+        buf = io.BytesIO()
+        tcp_packet.timestamp = 1234.567891
+        PcapWriter(buf).write_packet(tcp_packet)
+        buf.seek(0)
+        pkts = list(PcapReader(buf))
+        assert pkts[0].timestamp == pytest.approx(1234.567891, abs=1e-6)
+
+    def test_microsecond_rounding_carry(self):
+        buf = io.BytesIO()
+        w = PcapWriter(buf)
+        w.write_raw(b"\x45" + b"\x00" * 19, timestamp=1.9999999)
+        buf.seek(0)
+        record = buf.getvalue()[24:]
+        sec, usec = struct.unpack("<II", record[:8])
+        assert (sec, usec) == (2, 0)
+
+    def test_negative_timestamp_rejected(self):
+        w = PcapWriter(io.BytesIO())
+        with pytest.raises(PcapError):
+            w.write_raw(b"\x45", timestamp=-1.0)
+
+    def test_snaplen_truncates(self, tcp_packet):
+        buf = io.BytesIO()
+        w = PcapWriter(buf, snaplen=16)
+        w.write_packet(tcp_packet)
+        record = buf.getvalue()[24:]
+        caplen, origlen = struct.unpack("<II", record[8:16])
+        assert caplen == 16
+        assert origlen == tcp_packet.total_length
+
+
+class TestReader:
+    def test_roundtrip_mixed(self, tcp_packet, udp_packet, icmp_packet, tmp_path):
+        path = tmp_path / "mixed.pcap"
+        n = write_pcap(path, [tcp_packet, udp_packet, icmp_packet])
+        assert n == 3
+        back = read_pcap(path)
+        assert [p.ip.proto for p in back] == [6, 17, 1]
+        assert back[0].transport.seq == tcp_packet.transport.seq
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\xd4\xc3\xb2\xa1"))
+
+    def test_truncated_record_body(self, tcp_packet):
+        buf = io.BytesIO()
+        PcapWriter(buf).write_packet(tcp_packet)
+        data = buf.getvalue()[:-5]
+        with pytest.raises(PcapError):
+            list(PcapReader(io.BytesIO(data)))
+
+    def test_big_endian_file(self, tcp_packet):
+        # Construct a byte-swapped capture by hand.
+        wire = tcp_packet.to_bytes()
+        blob = struct.pack(">IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535,
+                           LINKTYPE_RAW)
+        blob += struct.pack(">IIII", 10, 500, len(wire), len(wire)) + wire
+        pkts = list(PcapReader(io.BytesIO(blob)))
+        assert len(pkts) == 1
+        assert pkts[0].timestamp == pytest.approx(10.0005)
+
+    def test_nanosecond_magic(self, tcp_packet):
+        wire = tcp_packet.to_bytes()
+        blob = struct.pack("<IHHiIII", 0xA1B23C4D, 2, 4, 0, 0, 65535,
+                           LINKTYPE_RAW)
+        blob += struct.pack("<IIII", 3, 500_000_000, len(wire), len(wire))
+        blob += wire
+        pkts = list(PcapReader(io.BytesIO(blob)))
+        assert pkts[0].timestamp == pytest.approx(3.5)
+
+    def test_ethernet_linktype_strips_header(self, udp_packet):
+        wire = udp_packet.to_bytes()
+        frame = b"\xaa" * 6 + b"\xbb" * 6 + b"\x08\x00" + wire
+        blob = struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535,
+                           LINKTYPE_ETHERNET)
+        blob += struct.pack("<IIII", 0, 0, len(frame), len(frame)) + frame
+        pkts = list(PcapReader(io.BytesIO(blob)))
+        assert len(pkts) == 1
+        assert pkts[0].ip.proto == 17
+
+    def test_ethernet_non_ipv4_skipped(self):
+        frame = b"\xaa" * 12 + b"\x86\xdd" + b"\x60" + b"\x00" * 39  # IPv6
+        blob = struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535,
+                           LINKTYPE_ETHERNET)
+        blob += struct.pack("<IIII", 0, 0, len(frame), len(frame)) + frame
+        assert list(PcapReader(io.BytesIO(blob))) == []
+
+    def test_unsupported_linktype_raises(self):
+        blob = struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 127)
+        blob += struct.pack("<IIII", 0, 0, 4, 4) + b"\x45\x00\x00\x04"
+        with pytest.raises(PcapError):
+            list(PcapReader(io.BytesIO(blob)))
+
+    def test_context_managers(self, tcp_packet, tmp_path):
+        path = tmp_path / "ctx.pcap"
+        with PcapWriter(open(path, "wb")) as w:
+            w.write_packet(tcp_packet)
+        with PcapReader(open(path, "rb")) as r:
+            assert len(list(r)) == 1
+
+
+class TestLargeCapture:
+    def test_many_packets(self, sample_flow, tmp_path):
+        path = tmp_path / "many.pcap"
+        packets = sample_flow.packets * 200
+        assert write_pcap(path, packets) == 1000
+        assert len(read_pcap(path)) == 1000

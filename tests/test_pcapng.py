@@ -1,0 +1,162 @@
+"""Unit tests for the pcapng reader/writer."""
+
+import io
+import struct
+
+import pytest
+
+from repro.net.pcapng import (
+    BYTE_ORDER_MAGIC,
+    EPB_TYPE,
+    IDB_TYPE,
+    SHB_TYPE,
+    PcapngError,
+    PcapngReader,
+    PcapngWriter,
+    read_capture,
+    read_pcapng,
+    write_pcapng,
+)
+from repro.net.pcap import write_pcap
+
+
+class TestWriter:
+    def test_starts_with_shb(self, tcp_packet):
+        buf = io.BytesIO()
+        PcapngWriter(buf).write_packet(tcp_packet)
+        blob = buf.getvalue()
+        assert struct.unpack("<I", blob[:4])[0] == SHB_TYPE
+        assert struct.unpack("<I", blob[8:12])[0] == BYTE_ORDER_MAGIC
+
+    def test_blocks_are_4_aligned(self, tcp_packet):
+        buf = io.BytesIO()
+        w = PcapngWriter(buf)
+        w.write_packet(tcp_packet)
+        assert len(buf.getvalue()) % 4 == 0
+
+    def test_negative_timestamp_rejected(self):
+        w = PcapngWriter(io.BytesIO())
+        with pytest.raises(PcapngError):
+            w.write_raw(b"\x45" + b"\x00" * 19, timestamp=-0.5)
+
+    def test_snaplen_truncates(self, tcp_packet):
+        buf = io.BytesIO()
+        PcapngWriter(buf, snaplen=20).write_packet(tcp_packet)
+        buf.seek(0)
+        pkts = list(PcapngReader(buf))
+        assert pkts[0].total_length <= tcp_packet.total_length
+
+
+class TestRoundtrip:
+    def test_mixed_packets(self, tcp_packet, udp_packet, icmp_packet,
+                           tmp_path):
+        path = tmp_path / "trace.pcapng"
+        n = write_pcapng(path, [tcp_packet, udp_packet, icmp_packet])
+        assert n == 3
+        back = read_pcapng(path)
+        assert [p.ip.proto for p in back] == [6, 17, 1]
+        assert back[0].transport.seq == tcp_packet.transport.seq
+        assert back[0].timestamp == pytest.approx(
+            tcp_packet.timestamp, abs=1e-6)
+
+    def test_large_timestamp(self, tcp_packet, tmp_path):
+        tcp_packet.timestamp = 1_700_000_000.123456  # > 2^32 microseconds
+        path = tmp_path / "big_ts.pcapng"
+        write_pcapng(path, [tcp_packet])
+        back = read_pcapng(path)
+        assert back[0].timestamp == pytest.approx(1_700_000_000.123456,
+                                                  abs=1e-5)
+
+    def test_read_capture_sniffs_both(self, sample_flow, tmp_path):
+        a = tmp_path / "x.pcap"
+        b = tmp_path / "x.pcapng"
+        write_pcap(a, sample_flow.packets)
+        write_pcapng(b, sample_flow.packets)
+        assert len(read_capture(a)) == len(sample_flow)
+        assert len(read_capture(b)) == len(sample_flow)
+
+
+class TestReaderRobustness:
+    def test_not_pcapng_rejected(self):
+        with pytest.raises(PcapngError):
+            PcapngReader(io.BytesIO(b"\x00" * 32))
+
+    def test_bad_magic_rejected(self):
+        blob = struct.pack("<II", SHB_TYPE, 28) + b"\xff\xff\xff\xff" \
+            + b"\x00" * 16 + struct.pack("<I", 28)
+        with pytest.raises(PcapngError):
+            PcapngReader(io.BytesIO(blob))
+
+    def test_truncated_block_rejected(self, tcp_packet):
+        buf = io.BytesIO()
+        PcapngWriter(buf).write_packet(tcp_packet)
+        blob = buf.getvalue()[:-6]
+        with pytest.raises(PcapngError):
+            list(PcapngReader(io.BytesIO(blob)))
+
+    def test_trailer_mismatch_rejected(self, tcp_packet):
+        buf = io.BytesIO()
+        PcapngWriter(buf).write_packet(tcp_packet)
+        blob = bytearray(buf.getvalue())
+        blob[-1] ^= 0xFF  # corrupt the final trailing length
+        with pytest.raises(PcapngError):
+            list(PcapngReader(io.BytesIO(bytes(blob))))
+
+    def test_unknown_blocks_skipped(self, tcp_packet):
+        buf = io.BytesIO()
+        w = PcapngWriter(buf)
+        # Custom block (type 0x0BAD) between IDB and EPB.
+        w._write_block(0x0BAD, b"\x01\x02\x03\x04")
+        w.write_packet(tcp_packet)
+        buf.seek(0)
+        assert len(list(PcapngReader(buf))) == 1
+
+    def test_epb_unknown_interface_rejected(self):
+        buf = io.BytesIO()
+        w = PcapngWriter(buf)
+        # Hand-write an EPB pointing at interface 7.
+        body = struct.pack("<IIIII", 7, 0, 0, 4, 4) + b"\x45\x00\x00\x04"
+        w._write_block(EPB_TYPE, body)
+        buf.seek(0)
+        with pytest.raises(PcapngError):
+            list(PcapngReader(buf))
+
+    def test_big_endian_section(self, tcp_packet):
+        wire = tcp_packet.to_bytes()
+
+        def block(block_type, body, endian=">"):
+            total = 12 + len(body) + (4 - len(body) % 4) % 4
+            return (struct.pack(endian + "II", block_type, total) + body
+                    + b"\x00" * ((4 - len(body) % 4) % 4)
+                    + struct.pack(endian + "I", total))
+
+        shb = block(SHB_TYPE,
+                    struct.pack(">IHHq", BYTE_ORDER_MAGIC, 1, 0, -1))
+        idb = block(IDB_TYPE, struct.pack(">HHI", 101, 0, 65535))
+        epb = block(EPB_TYPE,
+                    struct.pack(">IIIII", 0, 0, 1_500_000,
+                                len(wire), len(wire)) + wire)
+        pkts = list(PcapngReader(io.BytesIO(shb + idb + epb)))
+        assert len(pkts) == 1
+        assert pkts[0].timestamp == pytest.approx(1.5)
+
+    def test_nanosecond_tsresol(self, tcp_packet):
+        wire = tcp_packet.to_bytes()
+
+        def block(block_type, body):
+            pad = (4 - len(body) % 4) % 4
+            total = 12 + len(body) + pad
+            return (struct.pack("<II", block_type, total) + body
+                    + b"\x00" * pad + struct.pack("<I", total))
+
+        shb = block(SHB_TYPE,
+                    struct.pack("<IHHq", BYTE_ORDER_MAGIC, 1, 0, -1))
+        # if_tsresol = 9 (nanoseconds).
+        options = struct.pack("<HHB3x", 9, 1, 9) + struct.pack("<HH", 0, 0)
+        idb = block(IDB_TYPE, struct.pack("<HHI", 101, 0, 65535) + options)
+        ts = 2_500_000_000  # 2.5 s in ns
+        epb = block(EPB_TYPE,
+                    struct.pack("<IIIII", 0, ts >> 32, ts & 0xFFFFFFFF,
+                                len(wire), len(wire)) + wire)
+        pkts = list(PcapngReader(io.BytesIO(shb + idb + epb)))
+        assert pkts[0].timestamp == pytest.approx(2.5)

@@ -1,0 +1,113 @@
+"""Unit tests for the prompt vocabulary, codebook and encoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.prompt import PromptCodebook, PromptEncoder, Vocabulary
+
+
+class TestVocabulary:
+    def test_special_tokens_present(self):
+        v = Vocabulary()
+        assert Vocabulary.PAD in v
+        assert Vocabulary.UNK in v
+        assert len(v) == 2
+
+    def test_add_idempotent(self):
+        v = Vocabulary()
+        a = v.add("traffic")
+        b = v.add("traffic")
+        assert a == b
+        assert len(v) == 3
+
+    def test_encode_decode(self):
+        v = Vocabulary(["type-0", "traffic"])
+        ids = v.encode("type-0 traffic")
+        assert v.decode(ids) == "type-0 traffic"
+
+    def test_unknown_maps_to_unk(self):
+        v = Vocabulary(["traffic"])
+        ids = v.encode("martian traffic")
+        assert ids[0] == v.encode(Vocabulary.UNK)[0]
+
+    def test_case_insensitive(self):
+        v = Vocabulary(["traffic"])
+        assert v.encode("TRAFFIC") == v.encode("traffic")
+
+
+class TestPromptCodebook:
+    def test_prompts_are_encoded_type_k(self):
+        cb = PromptCodebook(["netflix", "teams"])
+        # §3.1: "'Type-0' for 'Netflix'" — opaque codes, not app names.
+        assert cb.prompt_for("netflix") == "type-0 traffic"
+        assert cb.prompt_for("teams") == "type-1 traffic"
+        assert "netflix" not in cb.prompt_for("netflix")
+
+    def test_duplicate_classes_rejected(self):
+        with pytest.raises(ValueError):
+            PromptCodebook(["a", "a"])
+
+    def test_add_class(self):
+        cb = PromptCodebook(["a"])
+        prompt = cb.add_class("b")
+        assert prompt == "type-1 traffic"
+        assert cb.classes == ["a", "b"]
+
+    def test_add_existing_raises(self):
+        cb = PromptCodebook(["a"])
+        with pytest.raises(ValueError):
+            cb.add_class("a")
+
+    def test_class_index(self):
+        cb = PromptCodebook(["x", "y"])
+        assert cb.class_index("y") == 1
+
+
+class TestPromptEncoder:
+    def test_output_shape(self, rng):
+        v = Vocabulary(["type-0", "traffic"])
+        enc = PromptEncoder(v, dim=16, rng=rng)
+        out = enc(["type-0 traffic", "traffic"])
+        assert out.shape == (2, 16)
+
+    def test_mean_pooling_ignores_padding(self, rng):
+        v = Vocabulary(["a", "b"])
+        enc = PromptEncoder(v, dim=8, rng=rng)
+        single = enc(["a"]).data
+        padded_batch = enc(["a", "a b"]).data
+        # The 1-token prompt must encode identically whether batched with
+        # longer prompts or alone.
+        assert np.allclose(single[0], padded_batch[0])
+
+    def test_different_prompts_different_vectors(self, rng):
+        v = Vocabulary(["type-0", "type-1", "traffic"])
+        enc = PromptEncoder(v, dim=8, rng=rng)
+        out = enc(["type-0 traffic", "type-1 traffic"]).data
+        assert not np.allclose(out[0], out[1])
+
+    def test_grow_to_vocab_preserves_rows(self, rng):
+        v = Vocabulary(["a"])
+        enc = PromptEncoder(v, dim=4, rng=rng)
+        before = enc(["a"]).data.copy()
+        v.add("new-token")
+        n = enc.grow_to_vocab()
+        assert n == len(v)
+        after = enc(["a"]).data
+        assert np.allclose(before, after)
+        # New token now encodes without UNK.
+        out = enc(["new-token"])
+        assert out.shape == (1, 4)
+
+    def test_grow_noop_when_unchanged(self, rng):
+        v = Vocabulary(["a"])
+        enc = PromptEncoder(v, dim=4, rng=rng)
+        table_before = enc.embedding.table.data
+        enc.grow_to_vocab()
+        assert enc.embedding.table.data is table_before
+
+    def test_gradients_flow_to_embeddings(self, rng):
+        v = Vocabulary(["a"])
+        enc = PromptEncoder(v, dim=4, rng=rng)
+        out = enc(["a"]).sum()
+        out.backward()
+        assert enc.embedding.table.grad is not None

@@ -1,0 +1,274 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property pins an invariant the rest of the system leans on:
+wire-format round trips, nprint losslessness, checksum validity, codec
+linear-inverse behaviour, gap-transform invertibility, quantiser totality,
+and the autograd engine's agreement with finite differences.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.autoencoder import LatentCodec
+from repro.core.postprocess import channel_to_gaps, gaps_to_channel
+from repro.core.schedule import NoiseSchedule
+from repro.imaging.colormap import (
+    continuous_to_ternary,
+    rgb_to_ternary,
+    ternary_to_rgb,
+)
+from repro.ml.nn.autograd import Tensor
+from repro.net.checksum import internet_checksum, verify_checksum
+from repro.net.flow import FlowKey
+from repro.net.headers import ICMPHeader, IPv4Header, TCPHeader, UDPHeader
+from repro.net.packet import build_packet, parse_packet
+from repro.net.pcap import PcapReader, PcapWriter
+from repro.nprint.decoder import decode_packet
+from repro.nprint.encoder import encode_packet
+
+DEFAULT_SETTINGS = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ip_addresses = st.integers(min_value=0, max_value=2**32 - 1)
+ports = st.integers(min_value=0, max_value=2**16 - 1)
+payloads = st.binary(min_size=0, max_size=200)
+
+
+def option_bytes(max_words: int = 10):
+    """TCP/IP option payloads: whole 32-bit words keep repair lossless."""
+    return st.integers(min_value=0, max_value=max_words).flatmap(
+        lambda n: st.binary(min_size=4 * n, max_size=4 * n)
+    )
+
+
+tcp_headers = st.builds(
+    TCPHeader,
+    src_port=ports,
+    dst_port=ports,
+    seq=st.integers(min_value=0, max_value=2**32 - 1),
+    ack=st.integers(min_value=0, max_value=2**32 - 1),
+    flags=st.integers(min_value=0, max_value=255),
+    window=ports,
+    urgent_pointer=ports,
+    options=option_bytes(),
+)
+
+udp_headers = st.builds(UDPHeader, src_port=ports, dst_port=ports)
+
+icmp_headers = st.builds(
+    ICMPHeader,
+    icmp_type=st.integers(min_value=0, max_value=255),
+    code=st.integers(min_value=0, max_value=255),
+    rest=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+transports = st.one_of(tcp_headers, udp_headers, icmp_headers)
+
+
+class TestChecksumProperties:
+    @given(data=st.binary(min_size=0, max_size=300))
+    @DEFAULT_SETTINGS
+    def test_checksummed_even_data_verifies(self, data):
+        if len(data) % 2:
+            data += b"\x00"
+        csum = internet_checksum(data)
+        assert verify_checksum(data + bytes([csum >> 8, csum & 0xFF]))
+
+    @given(data=st.binary(min_size=0, max_size=300))
+    @DEFAULT_SETTINGS
+    def test_checksum_in_range(self, data):
+        assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+class TestWireRoundtripProperties:
+    @given(src=ip_addresses, dst=ip_addresses, transport=transports,
+           payload=payloads,
+           ttl=st.integers(min_value=1, max_value=255))
+    @DEFAULT_SETTINGS
+    def test_packet_wire_roundtrip(self, src, dst, transport, payload, ttl):
+        pkt = build_packet(src, dst, transport, payload=payload, ttl=ttl)
+        back = parse_packet(pkt.to_bytes())
+        assert back.ip.src_ip == src
+        assert back.ip.dst_ip == dst
+        assert back.ip.ttl == ttl
+        assert back.payload == payload
+        assert type(back.transport) is type(transport)
+
+    @given(src=ip_addresses, dst=ip_addresses, transport=transports,
+           payload=payloads,
+           ts=st.floats(min_value=0, max_value=2**31,
+                        allow_nan=False, allow_infinity=False))
+    @DEFAULT_SETTINGS
+    def test_pcap_roundtrip(self, src, dst, transport, payload, ts):
+        pkt = build_packet(src, dst, transport, payload=payload,
+                           timestamp=ts)
+        buf = io.BytesIO()
+        PcapWriter(buf).write_packet(pkt)
+        buf.seek(0)
+        back = list(PcapReader(buf))
+        assert len(back) == 1
+        assert back[0].ip.src_ip == src
+        assert abs(back[0].timestamp - ts) <= 1e-6 * max(ts, 1)
+
+    @given(transport=tcp_headers)
+    @DEFAULT_SETTINGS
+    def test_tcp_header_roundtrip(self, transport):
+        back = TCPHeader.unpack(transport.pack(1, 2, b""))
+        assert back.src_port == transport.src_port
+        assert back.seq == transport.seq
+        assert back.flags == transport.flags
+        assert back.options == transport.options
+
+    @given(header=st.builds(
+        IPv4Header,
+        src_ip=ip_addresses, dst_ip=ip_addresses,
+        proto=st.integers(min_value=0, max_value=255),
+        ttl=st.integers(min_value=0, max_value=255),
+        identification=ports,
+        dscp=st.integers(min_value=0, max_value=63),
+        ecn=st.integers(min_value=0, max_value=3),
+        options=option_bytes(),
+    ))
+    @DEFAULT_SETTINGS
+    def test_ipv4_header_checksum_always_valid(self, header):
+        packed = header.pack()
+        assert verify_checksum(packed)
+
+
+class TestNprintProperties:
+    @given(src=ip_addresses, dst=ip_addresses, transport=transports,
+           payload=payloads)
+    @DEFAULT_SETTINGS
+    def test_encode_decode_preserves_semantics(self, src, dst, transport,
+                                               payload):
+        pkt = build_packet(src, dst, transport, payload=payload)
+        row = encode_packet(pkt)
+        dec = decode_packet(row)
+        assert dec.ip.src_ip == src
+        assert dec.ip.dst_ip == dst
+        assert dec.ip.proto == pkt.ip.proto
+        assert len(dec.payload) == len(payload)
+        if isinstance(transport, TCPHeader):
+            assert dec.transport.seq == transport.seq
+            assert dec.transport.flags == transport.flags
+            assert dec.transport.options == transport.options
+
+    @given(src=ip_addresses, dst=ip_addresses, transport=transports,
+           payload=payloads)
+    @DEFAULT_SETTINGS
+    def test_encoded_row_is_ternary(self, src, dst, transport, payload):
+        row = encode_packet(build_packet(src, dst, transport,
+                                         payload=payload))
+        assert set(np.unique(row)) <= {-1, 0, 1}
+
+    @given(src=ip_addresses, dst=ip_addresses, transport=transports)
+    @DEFAULT_SETTINGS
+    def test_decoded_packet_always_serialises(self, src, dst, transport):
+        pkt = build_packet(src, dst, transport)
+        dec = decode_packet(encode_packet(pkt))
+        wire = dec.to_bytes()
+        assert verify_checksum(wire[:dec.ip.header_length])
+
+
+class TestFlowKeyProperties:
+    @given(a=ip_addresses, b=ip_addresses, pa=ports, pb=ports)
+    @DEFAULT_SETTINGS
+    def test_canonicalisation_symmetric(self, a, b, pa, pb):
+        fwd = build_packet(a, b, TCPHeader(src_port=pa, dst_port=pb))
+        rev = build_packet(b, a, TCPHeader(src_port=pb, dst_port=pa))
+        assert FlowKey.from_packet(fwd) == FlowKey.from_packet(rev)
+
+
+class TestImagingProperties:
+    @given(st.data())
+    @DEFAULT_SETTINGS
+    def test_ternary_rgb_roundtrip(self, data):
+        shape = data.draw(st.tuples(
+            st.integers(min_value=1, max_value=12),
+            st.integers(min_value=1, max_value=40)))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        m = rng.choice([-1, 0, 1], size=shape).astype(np.int8)
+        assert (rgb_to_ternary(ternary_to_rgb(m)) == m).all()
+
+    @given(st.lists(st.floats(min_value=-3, max_value=3,
+                              allow_nan=False), min_size=1, max_size=64))
+    @DEFAULT_SETTINGS
+    def test_quantiser_total_and_ternary(self, values):
+        out = continuous_to_ternary(np.array([values]))
+        assert set(np.unique(out)) <= {-1, 0, 1}
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), min_size=1, max_size=64))
+    @DEFAULT_SETTINGS
+    def test_quantiser_identity_on_exact_levels(self, values):
+        m = np.array([values], dtype=np.float64)
+        assert (continuous_to_ternary(m) == m.astype(np.int8)).all()
+
+
+class TestTransformProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=30, allow_nan=False),
+                    min_size=1, max_size=32))
+    @DEFAULT_SETTINGS
+    def test_gap_channel_invertible(self, gaps):
+        gaps = np.array(gaps)
+        back = channel_to_gaps(gaps_to_channel(gaps))
+        assert np.allclose(back, gaps, rtol=1e-6, atol=1e-9)
+
+    @given(st.integers(min_value=2, max_value=200))
+    @DEFAULT_SETTINGS
+    def test_schedule_alpha_bars_decrease(self, timesteps):
+        s = NoiseSchedule.cosine(timesteps)
+        assert (np.diff(s.alpha_bars) < 0).all()
+        assert (s.posterior_variance >= 0).all()
+
+
+class TestCodecProperties:
+    @given(st.data())
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_full_rank_codec_is_lossless(self, data):
+        n = data.draw(st.integers(min_value=6, max_value=20))
+        d = data.draw(st.integers(min_value=2, max_value=5))
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d)).astype(np.float32)
+        codec = LatentCodec(latent_dim=d).fit(X)
+        recon = codec.decode(codec.encode(X))
+        scale = max(float(np.abs(X).max()), 1.0)
+        assert np.allclose(recon, X, atol=2e-3 * scale)
+
+
+class TestAutogradProperties:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_gradients_match_finite_differences(self, data):
+        rows = data.draw(st.integers(min_value=1, max_value=4))
+        cols = data.draw(st.integers(min_value=1, max_value=4))
+        seed = data.draw(st.integers(0, 2**32 - 1))
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.uniform(0.2, 1.5, size=(rows, cols)),
+                   requires_grad=True)
+        b = Tensor(rng.uniform(0.2, 1.5, size=(cols,)), requires_grad=True)
+
+        def fn():
+            return ((a * b).silu().sum(axis=1) ** 2).mean()
+
+        loss = fn()
+        loss.backward()
+        idx = (rng.integers(rows), rng.integers(cols))
+        eps = 1e-6
+        orig = a.data[idx]
+        a.data[idx] = orig + eps
+        plus = float(fn().data)
+        a.data[idx] = orig - eps
+        minus = float(fn().data)
+        a.data[idx] = orig
+        numeric = (plus - minus) / (2 * eps)
+        assert a.grad[idx] == pytest.approx(numeric, abs=1e-5)

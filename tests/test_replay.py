@@ -1,0 +1,172 @@
+"""Unit tests for the replay engine and stateful network functions."""
+
+import pytest
+
+from repro.net.flow import Flow
+from repro.net.headers import TCPFlags, TCPHeader, UDPHeader
+from repro.net.packet import build_packet
+from repro.net.replay import (
+    ProtocolConsistencyMonitor,
+    ReplayEngine,
+    StatefulFirewall,
+    TCPStateTracker,
+)
+from repro.traffic.apps import generate_flow
+from repro.traffic.profiles import PROFILES
+from repro.traffic.sessions import Endpoints
+import numpy as np
+
+
+def _tcp(src, dst, sport, dport, flags, seq=0, ack=0, ts=0.0, payload=b""):
+    header = TCPHeader(src_port=sport, dst_port=dport, seq=seq, ack=ack,
+                       flags=int(flags))
+    return build_packet(src, dst, header, payload=payload, timestamp=ts)
+
+
+def _handshake(src=1, dst=2, sport=1000, dport=80, t0=0.0):
+    return [
+        _tcp(src, dst, sport, dport, TCPFlags.SYN, seq=100, ts=t0),
+        _tcp(dst, src, dport, sport, TCPFlags.SYN | TCPFlags.ACK,
+             seq=500, ack=101, ts=t0 + 0.01),
+        _tcp(src, dst, sport, dport, TCPFlags.ACK, seq=101, ack=501,
+             ts=t0 + 0.02),
+    ]
+
+
+class TestTCPStateTracker:
+    def test_full_handshake_accepted(self):
+        nf = TCPStateTracker()
+        assert all(nf.process(p) for p in _handshake())
+
+    def test_data_before_handshake_flagged(self):
+        nf = TCPStateTracker()
+        pkt = _tcp(1, 2, 1000, 80, TCPFlags.ACK, seq=5, payload=b"x")
+        assert not nf.process(pkt)
+
+    def test_data_after_handshake_accepted(self):
+        nf = TCPStateTracker()
+        for p in _handshake():
+            nf.process(p)
+        data = _tcp(1, 2, 1000, 80, TCPFlags.ACK | TCPFlags.PSH,
+                    seq=101, ack=501, ts=0.03, payload=b"hello")
+        assert nf.process(data)
+
+    def test_synack_without_syn_flagged(self):
+        nf = TCPStateTracker()
+        pkt = _tcp(2, 1, 80, 1000, TCPFlags.SYN | TCPFlags.ACK, seq=1)
+        assert not nf.process(pkt)
+
+    def test_rst_on_unknown_connection_flagged(self):
+        nf = TCPStateTracker()
+        assert not nf.process(_tcp(1, 2, 3, 4, TCPFlags.RST))
+
+    def test_rst_on_known_connection_accepted(self):
+        nf = TCPStateTracker()
+        nf.process(_tcp(1, 2, 3, 4, TCPFlags.SYN, seq=9))
+        assert nf.process(_tcp(1, 2, 3, 4, TCPFlags.RST, seq=10))
+
+    def test_retreating_sequence_flagged(self):
+        nf = TCPStateTracker()
+        for p in _handshake():
+            nf.process(p)
+        a = _tcp(1, 2, 1000, 80, TCPFlags.ACK, seq=200, payload=b"abcd")
+        b = _tcp(1, 2, 1000, 80, TCPFlags.ACK, seq=50, payload=b"zz")
+        assert nf.process(a)
+        assert not nf.process(b)
+
+    def test_retransmission_allowed(self):
+        nf = TCPStateTracker()
+        for p in _handshake():
+            nf.process(p)
+        a = _tcp(1, 2, 1000, 80, TCPFlags.ACK, seq=200, payload=b"abcd")
+        assert nf.process(a)
+        assert nf.process(a)  # identical retransmit
+
+    def test_fin_before_established_flagged(self):
+        nf = TCPStateTracker()
+        assert not nf.process(_tcp(1, 2, 3, 4, TCPFlags.FIN | TCPFlags.ACK))
+
+    def test_non_tcp_passes(self, udp_packet):
+        assert TCPStateTracker().process(udp_packet)
+
+    def test_reset_clears_state(self):
+        nf = TCPStateTracker()
+        for p in _handshake():
+            nf.process(p)
+        nf.reset()
+        data = _tcp(1, 2, 1000, 80, TCPFlags.ACK, seq=101, payload=b"x")
+        assert not nf.process(data)
+
+
+class TestStatefulFirewall:
+    def test_inside_initiated_allowed(self):
+        fw = StatefulFirewall()
+        out = _tcp(0x0A000001, 0x08080808, 1000, 80, TCPFlags.SYN)
+        back = _tcp(0x08080808, 0x0A000001, 80, 1000,
+                    TCPFlags.SYN | TCPFlags.ACK)
+        assert fw.process(out)
+        assert fw.process(back)
+
+    def test_outside_initiated_blocked(self):
+        fw = StatefulFirewall()
+        pkt = _tcp(0x08080808, 0x0A000001, 80, 1000, TCPFlags.SYN)
+        assert not fw.process(pkt)
+
+    def test_custom_prefix(self):
+        fw = StatefulFirewall(inside_prefix=0xC0A80000,
+                              inside_mask=0xFFFF0000)
+        pkt = _tcp(0xC0A80105, 0x08080808, 1, 2, TCPFlags.SYN)
+        assert fw.process(pkt)
+
+
+class TestProtocolConsistencyMonitor:
+    def test_consistent_flow_passes(self):
+        nf = ProtocolConsistencyMonitor()
+        pkts = _handshake()
+        assert all(nf.process(p) for p in pkts)
+
+    def test_protocol_flip_flagged(self):
+        nf = ProtocolConsistencyMonitor()
+        tcp = _tcp(1, 2, 1000, 80, TCPFlags.SYN)
+        udp = build_packet(1, 2, UDPHeader(src_port=1000, dst_port=80))
+        assert nf.process(tcp)
+        assert not nf.process(udp)
+
+    def test_direction_insensitive(self):
+        nf = ProtocolConsistencyMonitor()
+        a = _tcp(1, 2, 1000, 80, TCPFlags.SYN)
+        b = build_packet(2, 1, UDPHeader(src_port=80, dst_port=1000))
+        nf.process(a)
+        assert not nf.process(b)
+
+
+class TestReplayEngine:
+    def test_generated_tcp_flow_fully_compliant(self):
+        """The workload generator emits protocol-correct TCP sessions."""
+        profile = PROFILES["netflix"]
+        rng = np.random.default_rng(0)
+        ep = Endpoints(client_ip=0x0A000001, client_port=40000,
+                       server_ip=0x17000001, server_port=443)
+        flow = generate_flow(profile, rng, ep)
+        report = ReplayEngine().replay(flow.packets)
+        assert report.compliance == 1.0
+
+    def test_stateless_noise_flagged(self):
+        pkts = [
+            _tcp(1, 2, 5, 6, TCPFlags.ACK, seq=i * 7, ts=i * 0.1,
+                 payload=b"data")
+            for i in range(10)
+        ]
+        report = ReplayEngine().replay(pkts)
+        assert report.compliance < 0.5
+        assert report.flags_by_nf["tcp-state-tracker"] > 0
+
+    def test_empty_replay(self):
+        report = ReplayEngine().replay([])
+        assert report.compliance == 1.0
+        assert report.total_packets == 0
+
+    def test_replays_in_timestamp_order(self):
+        pkts = list(reversed(_handshake()))
+        report = ReplayEngine().replay(pkts)
+        assert report.compliance == 1.0

@@ -1,0 +1,69 @@
+"""Tests for the experiment runner, report rendering and markdown export."""
+
+import pytest
+
+from repro.experiments.config import preset, tiny
+from repro.experiments.report import render_bars, render_table
+from repro.experiments.runner import EXPERIMENTS, run_all, write_markdown
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["A", "Blong"], [["x", 1.23456], ["yy", 2]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Blong" in lines[1]
+        assert "1.235" in text  # floats formatted to 3 decimals
+        assert "-+-" in lines[2]
+
+    def test_column_width_adapts(self):
+        text = render_table(["h"], [["a very long cell value"]])
+        header_line = text.splitlines()[0]
+        assert len(header_line) >= len("a very long cell value")
+
+
+class TestRenderBars:
+    def test_bars_scale_to_peak(self):
+        text = render_bars(["x", "y"], {"s": [1.0, 0.5]}, width=10)
+        lines = [l for l in text.splitlines() if l]
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_and_values(self):
+        text = render_bars(["k"], {"a": [0.25]}, title="Chart")
+        assert text.startswith("Chart")
+        assert "0.250" in text
+
+
+class TestRunner:
+    def test_experiment_names_cover_stages(self):
+        assert set(EXPERIMENTS) >= {
+            "table1", "table2", "figure1", "figure2", "speed", "replay",
+            "ablations", "extensions", "fidelity",
+        }
+
+    def test_run_all_skip_everything_but_table1(self, capsys):
+        config = tiny(seed=1)
+        skip = tuple(e for e in EXPERIMENTS if e != "table1")
+        results = run_all(config, skip=skip)
+        assert set(results) == {"table1"}
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "Measured flows" in out
+
+    def test_write_markdown(self, tmp_path, capsys):
+        config = tiny(seed=1)
+        skip = tuple(e for e in EXPERIMENTS if e != "table1")
+        results = run_all(config, skip=skip)
+        path = tmp_path / "report.md"
+        write_markdown(results, str(path), config)
+        text = path.read_text()
+        assert text.startswith("# Experiment report")
+        assert "## table1" in text
+        assert "```" in text
+
+    def test_preset_seed_propagates(self):
+        config = preset("tiny", seed=7)
+        assert config.seed == 7
+        assert config.pipeline.seed == 7

@@ -1,0 +1,113 @@
+"""Unit tests for TCP option parsing/building + doctest sweep."""
+
+import doctest
+
+import pytest
+
+from repro.net.tcpoptions import (
+    TCPOption,
+    TCPOptionError,
+    TCPOptionKind,
+    build_mss,
+    build_timestamps,
+    build_window_scale,
+    find_option,
+    parse_tcp_options,
+)
+
+
+class TestBuilders:
+    def test_mss(self):
+        raw = build_mss(1460)
+        assert raw == b"\x02\x04\x05\xb4"
+        with pytest.raises(ValueError):
+            build_mss(2**16)
+
+    def test_window_scale(self):
+        assert build_window_scale(7) == b"\x03\x03\x07"
+        with pytest.raises(ValueError):
+            build_window_scale(15)
+
+    def test_timestamps(self):
+        raw = build_timestamps(100, 200)
+        assert raw[:2] == b"\x08\x0a"
+        with pytest.raises(ValueError):
+            build_timestamps(2**32, 0)
+
+
+class TestParse:
+    def test_parse_composite(self):
+        raw = build_mss(1412) + b"\x01" + build_window_scale(7) \
+            + b"\x01\x01" + build_timestamps(42, 0)
+        options = parse_tcp_options(raw)
+        kinds = [o.kind for o in options]
+        assert kinds == [TCPOptionKind.MSS, TCPOptionKind.WINDOW_SCALE,
+                         TCPOptionKind.TIMESTAMPS]
+        assert options[0].mss == 1412
+        assert options[1].window_scale == 7
+        assert options[2].timestamps == (42, 0)
+
+    def test_eol_terminates(self):
+        raw = build_mss(100) + b"\x00" + build_mss(999)
+        options = parse_tcp_options(raw)
+        assert len(options) == 1
+        assert options[0].mss == 100
+
+    def test_nop_skipped(self):
+        options = parse_tcp_options(b"\x01\x01\x01")
+        assert options == []
+
+    def test_malformed_lenient(self):
+        # Length byte runs past the buffer: lenient mode stops quietly.
+        raw = build_mss(5) + b"\x08\x0a\x00"
+        options = parse_tcp_options(raw)
+        assert len(options) == 1
+
+    def test_malformed_strict_raises(self):
+        with pytest.raises(TCPOptionError):
+            parse_tcp_options(b"\x08\x0a\x00", strict=True)
+        with pytest.raises(TCPOptionError):
+            parse_tcp_options(b"\x02", strict=True)
+        with pytest.raises(TCPOptionError):
+            parse_tcp_options(b"\x02\x01", strict=True)  # length < 2
+
+    def test_find_option(self):
+        raw = b"\x01" + build_mss(536)
+        found = find_option(raw, TCPOptionKind.MSS)
+        assert found is not None and found.mss == 536
+        assert find_option(raw, TCPOptionKind.SACK) is None
+
+    def test_accessor_validation(self):
+        opt = TCPOption(kind=int(TCPOptionKind.MSS), data=b"\x01")
+        with pytest.raises(ValueError):
+            opt.mss
+        with pytest.raises(ValueError):
+            TCPOption(kind=1).window_scale
+        with pytest.raises(ValueError):
+            TCPOption(kind=1).timestamps
+
+    def test_generated_syn_options_parse(self):
+        """The session builder's SYN options are well-formed."""
+        from repro.traffic.dataset import generate_app_flows
+
+        flow = generate_app_flows("netflix", 1, seed=151)[0]
+        syn = flow.packets[0].transport
+        options = parse_tcp_options(syn.options, strict=True)
+        kinds = {o.kind for o in options}
+        assert TCPOptionKind.MSS in kinds
+        mss = find_option(syn.options, TCPOptionKind.MSS)
+        assert mss.mss == 1460  # netflix profile
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module_name", [
+        "repro.net.checksum",
+        "repro.net.ipaddr",
+    ])
+    def test_module_doctests(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module)
+        assert results.failed == 0
+        assert results.attempted > 0
