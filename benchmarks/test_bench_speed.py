@@ -31,3 +31,9 @@ def test_generation_speed_sweep(bench_config, trained_ctx, benchmark):
     # ...at a bounded fidelity cost at this scale.
     assert fastest.fidelity > 0.5
     assert ddpm.fidelity > 0.7
+    # Fast-path regression: fused CFG does exactly one denoiser forward
+    # per sampler step per batch (12 flows fit one generation batch), so
+    # the legacy 2x-forward schedule would double these counts.
+    for row in result.rows:
+        assert row.denoiser_forwards == row.steps
+        assert row.forwards_per_flow == row.steps / result.n_flows

@@ -16,6 +16,7 @@ Subpackages
 ``repro.core``        the diffusion text-to-traffic pipeline (the paper)
 ``repro.baselines``   NetShare-style GAN, DoppelGANger, HMM comparators
 ``repro.experiments`` harness regenerating every table and figure
+``repro.perf``        scoped timers + counters for the hot paths
 """
 
 __version__ = "1.0.0"

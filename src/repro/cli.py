@@ -63,9 +63,12 @@ def _load_labelled_flows(path: str):
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro import perf
     from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
     from repro.core.serialization import save_pipeline
 
+    if args.perf:
+        perf.reset()
     flows = _load_labelled_flows(args.infile)
     if not flows:
         print("no labelled flows found (missing .labels sidecar?)",
@@ -83,13 +86,19 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     pipeline.fit(flows, verbose=True)
     save_pipeline(pipeline, args.model)
     print(f"saved model to {args.model}")
+    if args.perf:
+        print()
+        print(perf.render("fit perf"))
     return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro import perf
     from repro.core.serialization import load_pipeline
     from repro.net.pcap import write_pcap
 
+    if args.perf:
+        perf.reset()
     pipeline = load_pipeline(args.model)
     if args.class_name not in pipeline.codebook.classes:
         print(f"unknown class {args.class_name!r}; model knows "
@@ -105,6 +114,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     n = write_pcap(args.out, packets)
     print(f"generated {len(flows)} {args.class_name} flows "
           f"({n} packets) -> {args.out}")
+    if args.perf:
+        print()
+        print(perf.render("generate perf"))
     return 0
 
 
@@ -179,6 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-packets", type=int, default=16)
     p.add_argument("--steps", type=int, default=600)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--perf", action="store_true",
+                   help="print stage timers and counters afterwards")
     p.set_defaults(fn=_cmd_fit)
 
     p = sub.add_parser("generate", help="text-to-traffic generation")
@@ -188,6 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state-repair", action="store_true")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
+    p.add_argument("--perf", action="store_true",
+                   help="print stage timers and counters afterwards")
     p.set_defaults(fn=_cmd_generate)
 
     p = sub.add_parser("render", help="render a flow as an nprint image")

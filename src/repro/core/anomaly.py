@@ -33,7 +33,7 @@ import numpy as np
 from repro.core.pipeline import TextToTrafficPipeline
 from repro.core.postprocess import gaps_to_channel
 from repro.net.flow import Flow
-from repro.nprint.encoder import encode_flow, interarrival_channel
+from repro.nprint.encoder import encode_flows, interarrival_channels
 from repro.nprint.fields import NPRINT_BITS
 
 _POOL = 16
@@ -65,10 +65,8 @@ class AnomalyScorer:
         """The (n, 70) pooled residual profile described in the module doc."""
         cfg = self.pipeline.config
         p = cfg.max_packets
-        matrices = np.stack([encode_flow(f, p) for f in flows])
-        gap_channels = np.stack(
-            [gaps_to_channel(interarrival_channel(f, p)) for f in flows]
-        )
+        matrices = encode_flows(flows, p)
+        gap_channels = gaps_to_channel(interarrival_channels(flows, p))
         vectors = self.pipeline._vectorize(matrices, gap_channels)
         z = self.pipeline.codec.encode(vectors)
         residual = self.pipeline.codec.decode(z) - vectors

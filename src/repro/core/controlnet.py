@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.ml.nn import Linear, Module, Tensor, ZeroLinear
 from repro.nprint.fields import NPRINT_BITS, REGION_SLICES, VACANT
 
@@ -100,6 +101,7 @@ class ControlNetBranch(Module):
 
     def forward(self, mask: np.ndarray) -> list[Tensor]:
         """Per-block control injections for a batch of masks."""
+        perf.incr("controlnet.forward")
         pooled = Tensor(self.pool_mask(mask))
         h = self.encoder2(self.encoder1(pooled).silu()).silu()
         return [proj(h) for proj in self.zero_projections]

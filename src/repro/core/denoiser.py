@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.ml.nn import LayerNorm, Linear, Module, SiLU, Tensor
 
 
@@ -105,6 +106,8 @@ class ConditionalDenoiser(Module):
             raise ValueError(
                 f"expected {self.n_blocks} control tensors, got {len(controls)}"
             )
+        perf.incr("denoiser.forward")
+        perf.incr("denoiser.rows", len(z_t.data))
         t_emb = Tensor(sinusoidal_time_embedding(t, self.time_dim))
         t_hidden = self.time_proj2(self.time_proj1(t_emb).silu())
         c_hidden = self.cond_proj(cond)

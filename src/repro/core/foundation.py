@@ -37,7 +37,7 @@ from repro.ml.nn import (
     softmax_cross_entropy,
 )
 from repro.net.flow import Flow
-from repro.nprint.encoder import encode_flow, interarrival_channel
+from repro.nprint.encoder import encode_flows, interarrival_channels
 
 
 @dataclass
@@ -119,12 +119,9 @@ class FoundationEncoder(Module):
 
 def flow_vectors(flows: list[Flow], max_packets: int) -> np.ndarray:
     """Flows -> the flat (bits + timing) vectors the encoder consumes."""
-    matrices = np.stack(
-        [encode_flow(f, max_packets) for f in flows]
-    ).astype(np.float32)
-    gaps = np.stack(
-        [gaps_to_channel(interarrival_channel(f, max_packets))
-         for f in flows]
+    matrices = encode_flows(flows, max_packets).astype(np.float32)
+    gaps = gaps_to_channel(
+        interarrival_channels(flows, max_packets)
     ).astype(np.float32)
     flat = matrices.reshape(len(flows), -1)
     return np.concatenate([flat, gaps], axis=1)

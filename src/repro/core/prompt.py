@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.ml.nn import Embedding, Module, Tensor
 
 
@@ -105,6 +106,21 @@ class PromptEncoder(Module):
         self.dim = dim
         self._rng = rng or np.random.default_rng()
         self.embedding = Embedding(len(vocab), dim, rng=self._rng)
+        # prompt text -> (vocab size at encode time, token ids).  The
+        # vocabulary is append-only, so a cached encoding is valid exactly
+        # as long as the vocabulary has not grown since (new tokens can
+        # turn a former UNK into a real id).
+        self._token_cache: dict[str, tuple[int, list[int]]] = {}
+
+    def _encode_cached(self, prompt: str) -> list[int]:
+        """Tokenize ``prompt`` once per vocabulary generation."""
+        vocab_size = len(self.vocab)
+        hit = self._token_cache.get(prompt)
+        if hit is not None and hit[0] == vocab_size:
+            return hit[1]
+        ids = self.vocab.encode(prompt)
+        self._token_cache[prompt] = (vocab_size, ids)
+        return ids
 
     def grow_to_vocab(self) -> int:
         """Extend the embedding table to cover newly added tokens."""
@@ -121,7 +137,8 @@ class PromptEncoder(Module):
 
     def forward(self, prompts: list[str]) -> Tensor:
         """Encode a batch of prompt strings to (B, dim) condition vectors."""
-        ids = [self.vocab.encode(p) for p in prompts]
+        perf.incr("prompt_encoder.forward")
+        ids = [self._encode_cached(p) for p in prompts]
         width = max(len(seq) for seq in ids)
         batch = np.zeros((len(ids), width), dtype=np.int64)
         mask = np.zeros((len(ids), width), dtype=np.float64)

@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.pipeline import TextToTrafficPipeline
 from repro.core.postprocess import gaps_to_channel, matrix_to_flow
 from repro.net.flow import Flow
-from repro.nprint.encoder import encode_flow, interarrival_channel
+from repro.nprint.encoder import encode_flows, interarrival_channels
 
 
 @dataclass
@@ -60,12 +60,9 @@ class TrafficTranslator:
     # -- encoding helpers ------------------------------------------------
     def _encode(self, flows: list[Flow]) -> np.ndarray:
         cfg = self.pipeline.config
-        matrices = np.stack(
-            [encode_flow(f, cfg.max_packets) for f in flows]
-        )
-        gap_channels = np.stack(
-            [gaps_to_channel(interarrival_channel(f, cfg.max_packets))
-             for f in flows]
+        matrices = encode_flows(flows, cfg.max_packets)
+        gap_channels = gaps_to_channel(
+            interarrival_channels(flows, cfg.max_packets)
         )
         vectors = self.pipeline._vectorize(matrices, gap_channels)
         return self.pipeline.codec.encode(vectors)

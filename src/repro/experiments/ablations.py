@@ -28,7 +28,7 @@ from repro.experiments.figure2 import expected_protocols, flow_compliance
 from repro.experiments.report import render_table
 from repro.experiments.table2 import _fit_and_score, _netflow_matrix
 from repro.ml.metrics import bit_fidelity
-from repro.nprint.encoder import encode_flow
+from repro.nprint.encoder import encode_flows
 
 
 # -- E-X2: per-class GAN ------------------------------------------------------
@@ -192,10 +192,7 @@ def run_guidance_sweep(
     rf = RandomForest(n_trees=config.rf_trees, max_depth=config.rf_depth,
                       seed=config.seed).fit(X_train, y_train)
 
-    real_bits = np.stack(
-        [encode_flow(f, config.rf_feature_packets)
-         for f in ctx.test_flows]
-    )
+    real_bits = encode_flows(ctx.test_flows, config.rf_feature_packets)
     rows = []
     for weight in weights:
         flows = []
@@ -206,9 +203,7 @@ def run_guidance_sweep(
         flows = [f for f in flows if len(f)]
         X = nprint_features(flows, max_packets=config.rf_feature_packets)
         y, _ = encode_labels([f.label for f in flows], classes)
-        synth_bits = np.stack(
-            [encode_flow(f, config.rf_feature_packets) for f in flows]
-        )
+        synth_bits = encode_flows(flows, config.rf_feature_packets)
         rows.append(GuidanceSweepRow(
             weight=weight,
             transfer_accuracy=accuracy(y, rf.predict(X)),
@@ -253,9 +248,7 @@ def run_lora_ablation(
     if not new_flows:
         raise RuntimeError(f"no flows for holdout class {holdout!r}")
 
-    real_matrices = np.stack(
-        [encode_flow(f, config.pipeline.max_packets) for f in new_flows]
-    )
+    real_matrices = encode_flows(new_flows, config.pipeline.max_packets)
 
     def pretrain(seed_offset: int) -> TextToTrafficPipeline:
         cfg = PipelineConfig(
@@ -307,9 +300,7 @@ def run_lora_ablation(
 def _fidelity(flows, real_matrices, config: ExperimentConfig) -> float:
     if not flows:
         return 0.0
-    matrices = np.stack(
-        [encode_flow(f, config.pipeline.max_packets) for f in flows]
-    )
+    matrices = encode_flows(flows, config.pipeline.max_packets)
     return bit_fidelity(real_matrices, matrices)
 
 
@@ -322,17 +313,16 @@ def _full_finetune(
     """Register the new class and fine-tune *all* denoiser weights."""
     from repro.core.postprocess import gaps_to_channel
     from repro.ml.nn import Adam
-    from repro.nprint.encoder import interarrival_channel
+    from repro.nprint.encoder import interarrival_channels
 
     cfg = pipeline.config
     prompt = pipeline.codebook.add_class(class_name)
     for token in prompt.split():
         pipeline.vocab.add(token)
     pipeline.prompt_encoder.grow_to_vocab()
-    matrices = np.stack([encode_flow(f, cfg.max_packets) for f in flows])
-    gap_channels = np.stack(
-        [gaps_to_channel(interarrival_channel(f, cfg.max_packets))
-         for f in flows]
+    matrices = encode_flows(flows, cfg.max_packets)
+    gap_channels = gaps_to_channel(
+        interarrival_channels(flows, cfg.max_packets)
     )
     latents = pipeline.codec.encode(
         pipeline._vectorize(matrices, gap_channels)

@@ -14,11 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import perf
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.data import get_context
 from repro.experiments.report import render_table
 from repro.ml.metrics import bit_fidelity
-from repro.nprint.encoder import encode_flow
+from repro.nprint.encoder import encode_flows
 
 
 @dataclass
@@ -28,22 +29,35 @@ class SpeedRow:
     seconds: float
     flows_per_second: float
     fidelity: float
+    denoiser_forwards: int = 0
+    #: flows generated for this row (mirrors SpeedResult.n_flows)
+    flows: int = 0
+
+    @property
+    def forwards_per_flow(self) -> float:
+        return self.denoiser_forwards / max(self.flows, 1)
 
 
 @dataclass
 class SpeedResult:
     rows: list[SpeedRow]
     n_flows: int
+    perf: dict = None  # perf-registry snapshot taken after the sweep
 
     def render(self) -> str:
         return render_table(
-            ["Sampler", "Steps", "Seconds", "Flows/s", "Bit fidelity"],
+            ["Sampler", "Steps", "Seconds", "Flows/s", "Bit fidelity",
+             "Denoiser fwd"],
             [
-                (r.sampler, r.steps, r.seconds, r.flows_per_second, r.fidelity)
+                (r.sampler, r.steps, r.seconds, r.flows_per_second,
+                 r.fidelity, r.denoiser_forwards)
                 for r in self.rows
             ],
             title=f"Generative speed sweep ({self.n_flows} flows per point)",
         )
+
+    def render_perf(self) -> str:
+        return perf.render("speed sweep perf")
 
 
 def run_speed(
@@ -57,9 +71,9 @@ def run_speed(
     ctx = get_context(config)
     pipeline = ctx.pipeline
     real = [f for f in ctx.test_flows if f.label == class_name]
-    real_matrices = np.stack(
-        [encode_flow(f, config.pipeline.max_packets) for f in real]
-    ) if real else None
+    real_matrices = (
+        encode_flows(real, config.pipeline.max_packets) if real else None
+    )
 
     rows: list[SpeedRow] = []
     budgets: list[tuple[str, int]] = []
@@ -70,14 +84,14 @@ def run_speed(
 
     for sampler, steps in budgets:
         rng = np.random.default_rng(config.seed + steps)
+        forwards_before = perf.counter("denoiser.forward")
         start = time.perf_counter()
         result = pipeline.generate_raw(
             class_name, n_flows, steps=steps, rng=rng
         )
         elapsed = time.perf_counter() - start
-        quantised = np.stack(
-            [encode_flow(f, config.pipeline.max_packets) for f in result.flows]
-        )
+        forwards = perf.counter("denoiser.forward") - forwards_before
+        quantised = encode_flows(result.flows, config.pipeline.max_packets)
         fidelity = (
             bit_fidelity(real_matrices, quantised)
             if real_matrices is not None
@@ -90,6 +104,8 @@ def run_speed(
                 seconds=elapsed,
                 flows_per_second=n_flows / elapsed if elapsed > 0 else float("inf"),
                 fidelity=fidelity,
+                denoiser_forwards=forwards,
+                flows=n_flows,
             )
         )
-    return SpeedResult(rows=rows, n_flows=n_flows)
+    return SpeedResult(rows=rows, n_flows=n_flows, perf=perf.snapshot())

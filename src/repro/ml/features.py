@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.net.flow import Flow
-from repro.nprint.encoder import encode_flow
+from repro.nprint.encoder import encode_flow, encode_flows
 from repro.nprint.fields import FIELDS, NPRINT_BITS, VACANT
 
 # The ten NetFlow fields NetShare produces (§2.3): 5-tuple, start time,
@@ -154,5 +154,5 @@ def nprint_features(
     drop_overfit: bool = True,
 ) -> np.ndarray:
     """Encode flows to nprint and flatten (convenience wrapper)."""
-    matrices = np.stack([encode_flow(f, max_packets) for f in flows])
+    matrices = encode_flows(flows, max_packets)
     return nprint_matrix_features(matrices, drop_overfit=drop_overfit)

@@ -29,7 +29,9 @@ from repro.nprint.encoder import (
     encode_flow,
     encode_flows,
     encode_packet,
+    encode_packets,
     interarrival_channel,
+    interarrival_channels,
 )
 from repro.nprint.textio import (
     NprintTextError,
@@ -65,9 +67,11 @@ __all__ = [
     "bit_feature_names",
     "DEFAULT_MAX_PACKETS",
     "encode_packet",
+    "encode_packets",
     "encode_flow",
     "encode_flows",
     "interarrival_channel",
+    "interarrival_channels",
     "decode_packet",
     "decode_flow",
     "DecodedFlow",

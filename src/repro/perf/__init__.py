@@ -1,0 +1,38 @@
+"""Performance instrumentation: scoped timers, counters, perf reports.
+
+See :mod:`repro.perf.instrumentation` for the full API.  Typical use::
+
+    from repro import perf
+
+    perf.reset()
+    with perf.timer("generate"):
+        pipeline.generate("netflix", 100)
+    print(perf.counter("denoiser.forward"))
+    print(perf.render())
+"""
+
+from repro.perf.instrumentation import (
+    PerfRegistry,
+    TimerStat,
+    counter,
+    get_registry,
+    incr,
+    render,
+    reset,
+    snapshot,
+    timed,
+    timer,
+)
+
+__all__ = [
+    "PerfRegistry",
+    "TimerStat",
+    "counter",
+    "get_registry",
+    "incr",
+    "render",
+    "reset",
+    "snapshot",
+    "timed",
+    "timer",
+]

@@ -1,0 +1,189 @@
+"""Scoped timers and counters for the hot paths.
+
+The §4 open challenge is generative speed; you cannot keep a hot loop
+fast without measuring it.  This module provides the minimal
+observability layer the pipeline, the encoder tier, and the experiment
+harness share:
+
+* :func:`counter` / :func:`incr` — named monotonic counters
+  (denoiser forwards, prompt encodes, flows encoded, ...);
+* :func:`timer` — a context manager accumulating wall-clock seconds and
+  call counts per named stage;
+* :func:`timed` — a decorator form of :func:`timer`;
+* :class:`PerfRegistry` — the store behind all of the above, with
+  :meth:`~PerfRegistry.snapshot` for programmatic access.
+
+Everything funnels into one module-level default registry so that a
+caller (the CLI, ``experiments/speed.py``, a regression test) can
+``reset()`` before a workload, run it, and read exact counts after —
+e.g. *denoiser forwards per DDIM step* becomes an assertable quantity.
+
+Instrumentation must never change behaviour: counters are plain integer
+adds, timers are two ``perf_counter`` calls, and there is no sampling,
+no threads, no I/O.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall-clock for one named stage."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.calls += 1
+        self.seconds += elapsed
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class PerfRegistry:
+    """A named bag of counters and stage timers."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, TimerStat] = field(default_factory=dict)
+
+    # -- counters -----------------------------------------------------------
+    def incr(self, name: str, n: int = 1) -> int:
+        """Add ``n`` to counter ``name`` (creating it at 0); returns the total."""
+        total = self.counters.get(name, 0) + n
+        self.counters[name] = total
+        return total
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    # -- timers -------------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str):
+        """Accumulate the wall-clock of the ``with`` body under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            stat = self.timers.get(name)
+            if stat is None:
+                stat = self.timers[name] = TimerStat()
+            stat.add(time.perf_counter() - start)
+
+    def timed(self, name: str | None = None):
+        """Decorator: time every call of the wrapped function.
+
+        Uses ``name`` or the function's qualified name as the stage key.
+        """
+
+        def decorate(fn):
+            key = name or fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.timer(key):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- lifecycle / reporting ----------------------------------------------
+    def reset(self) -> None:
+        """Drop every counter and timer (start of a measured workload)."""
+        self.counters.clear()
+        self.timers.clear()
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (JSON-serialisable) of the current state."""
+        return {
+            "counters": dict(self.counters),
+            "timers": {
+                name: {"calls": t.calls, "seconds": t.seconds}
+                for name, t in self.timers.items()
+            },
+        }
+
+    def merge(self, other: "PerfRegistry") -> None:
+        """Fold another registry's totals into this one."""
+        for name, n in other.counters.items():
+            self.incr(name, n)
+        for name, stat in other.timers.items():
+            mine = self.timers.get(name)
+            if mine is None:
+                mine = self.timers[name] = TimerStat()
+            mine.calls += stat.calls
+            mine.seconds += stat.seconds
+
+    def render(self, title: str = "perf report") -> str:
+        """A fixed-width text report of timers then counters."""
+        lines = [title, "=" * len(title)]
+        if self.timers:
+            lines.append("")
+            lines.append(f"{'stage':<38} {'calls':>8} {'seconds':>10} {'mean ms':>10}")
+            for name in sorted(self.timers):
+                t = self.timers[name]
+                lines.append(
+                    f"{name:<38} {t.calls:>8} {t.seconds:>10.4f} "
+                    f"{t.mean_seconds * 1e3:>10.3f}"
+                )
+        if self.counters:
+            lines.append("")
+            lines.append(f"{'counter':<38} {'value':>8}")
+            for name in sorted(self.counters):
+                lines.append(f"{name:<38} {self.counters[name]:>8}")
+        if not self.timers and not self.counters:
+            lines.append("(empty)")
+        return "\n".join(lines)
+
+
+#: the process-wide default registry used by the convenience functions
+_DEFAULT = PerfRegistry()
+
+
+def get_registry() -> PerfRegistry:
+    """The module-level default registry."""
+    return _DEFAULT
+
+
+def incr(name: str, n: int = 1) -> int:
+    """Increment a counter in the default registry."""
+    return _DEFAULT.incr(name, n)
+
+
+def counter(name: str) -> int:
+    """Read a counter from the default registry."""
+    return _DEFAULT.count(name)
+
+
+def timer(name: str):
+    """Scoped timer against the default registry (context manager)."""
+    return _DEFAULT.timer(name)
+
+
+def timed(name: str | None = None):
+    """Decorator form of :func:`timer` against the default registry."""
+    return _DEFAULT.timed(name)
+
+
+def reset() -> None:
+    """Reset the default registry."""
+    _DEFAULT.reset()
+
+
+def snapshot() -> dict:
+    """Snapshot the default registry."""
+    return _DEFAULT.snapshot()
+
+
+def render(title: str = "perf report") -> str:
+    """Render the default registry as text."""
+    return _DEFAULT.render(title)

@@ -8,7 +8,9 @@ from repro.nprint.encoder import (
     encode_flow,
     encode_flows,
     encode_packet,
+    encode_packets,
     interarrival_channel,
+    interarrival_channels,
 )
 from repro.nprint.fields import (
     FIELDS,
@@ -102,6 +104,54 @@ class TestEncodeFlow:
     def test_encode_flows_empty(self):
         out = encode_flows([], max_packets=4)
         assert out.shape == (0, 4, NPRINT_BITS)
+
+
+class TestBatchedEncoding:
+    """The vectorized fast path must match the reference path exactly."""
+
+    @pytest.fixture(scope="class")
+    def mixed_flows(self):
+        from repro.traffic.dataset import build_service_recognition_dataset
+
+        return build_service_recognition_dataset(scale=0.008, seed=7).flows
+
+    def test_encode_packets_matches_encode_packet(
+        self, tcp_packet, udp_packet, icmp_packet
+    ):
+        packets = [tcp_packet, udp_packet, icmp_packet, tcp_packet]
+        batched = encode_packets(packets)
+        reference = np.stack([encode_packet(p) for p in packets])
+        assert np.array_equal(batched, reference)
+
+    def test_encode_packets_empty(self):
+        assert encode_packets([]).shape == (0, NPRINT_BITS)
+
+    def test_encode_flows_matches_per_flow(self, mixed_flows):
+        batched = encode_flows(mixed_flows, max_packets=16)
+        reference = np.stack(
+            [encode_flow(f, max_packets=16) for f in mixed_flows]
+        )
+        assert np.array_equal(batched, reference)
+
+    def test_encode_flows_workers_match_serial(self, mixed_flows):
+        flows = mixed_flows * 2  # enough rows to engage the pool
+        serial = encode_flows(flows, max_packets=8)
+        pooled = encode_flows(flows, max_packets=8, workers=4)
+        assert np.array_equal(serial, pooled)
+
+    def test_encode_flows_invalid_max_packets(self, sample_flow):
+        with pytest.raises(ValueError):
+            encode_flows([sample_flow], max_packets=0)
+
+    def test_interarrival_channels_match_per_flow(self, mixed_flows):
+        batched = interarrival_channels(mixed_flows, max_packets=16)
+        reference = np.stack(
+            [interarrival_channel(f, max_packets=16) for f in mixed_flows]
+        )
+        assert np.array_equal(batched, reference)
+
+    def test_interarrival_channels_empty(self):
+        assert interarrival_channels([], max_packets=4).shape == (0, 4)
 
 
 class TestInterarrivalChannel:
