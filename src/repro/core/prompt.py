@@ -135,9 +135,18 @@ class PromptEncoder(Module):
             self.register_module("embedding", grown)
         return self.embedding.num_embeddings
 
-    def forward(self, prompts: list[str]) -> Tensor:
-        """Encode a batch of prompt strings to (B, dim) condition vectors."""
-        perf.incr("prompt_encoder.forward")
+    def prompt_table(
+        self, prompts: list[str]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Precompute padded token ids + mask rows for a prompt list.
+
+        Returns ``(ids, mask)`` of shape ``(len(prompts), W)`` where ``W``
+        is the longest tokenisation.  Rows can be gathered with plain
+        NumPy indexing and fed to :meth:`forward_ids`, skipping the
+        per-call string tokenisation entirely — the training-loop fast
+        path encodes each distinct prompt once and reuses the rows for
+        every step.
+        """
         ids = [self._encode_cached(p) for p in prompts]
         width = max(len(seq) for seq in ids)
         batch = np.zeros((len(ids), width), dtype=np.int64)
@@ -145,6 +154,16 @@ class PromptEncoder(Module):
         for i, seq in enumerate(ids):
             batch[i, : len(seq)] = seq
             mask[i, : len(seq)] = 1.0
+        return batch, mask
+
+    def forward(self, prompts: list[str]) -> Tensor:
+        """Encode a batch of prompt strings to (B, dim) condition vectors."""
+        batch, mask = self.prompt_table(prompts)
+        return self.forward_ids(batch, mask)
+
+    def forward_ids(self, batch: np.ndarray, mask: np.ndarray) -> Tensor:
+        """Encode pre-tokenised (ids, mask) rows — see :meth:`prompt_table`."""
+        perf.incr("prompt_encoder.forward")
         embedded = self.embedding(batch)  # (B, W, dim)
         weights = mask / np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
         # Mean over real (non-pad) tokens.

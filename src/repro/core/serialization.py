@@ -13,17 +13,23 @@ LoRA-adapted pipelines must be merged first (:func:`repro.core.lora.merge_lora`)
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import struct
+import tempfile
 from pathlib import Path
 
 import numpy as np
 
+from repro import perf
 from repro.core.autoencoder import LatentCodec
 from repro.core.controlnet import ControlNetBranch
 from repro.core.denoiser import ConditionalDenoiser
 from repro.core.lora import LoRALinear
 from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
 from repro.core.prompt import PromptCodebook, PromptEncoder
+from repro.net.flow import Flow
 
 _FORMAT_VERSION = 1
 
@@ -136,3 +142,105 @@ def _load_module(prefix: str, module, arrays: dict[str, np.ndarray]) -> None:
         if key.startswith(prefix + ".")
     }
     module.load_state_dict(state)
+
+
+# -- content-addressed fitted-pipeline cache ---------------------------------
+#
+# A fitted pipeline is a pure function of (PipelineConfig, training flows,
+# archive format): same config + same flows => same weights.  The cache
+# keys archives by a digest of exactly those inputs, so every experiment
+# that refits the pipeline from identical ingredients loads it instead.
+
+def dataset_fingerprint(flows: list[Flow]) -> str:
+    """Digest of a training set: labels, counts, and raw flow bytes.
+
+    Any change to the flow list — ordering, labels, a single header bit
+    or timestamp — changes the fingerprint and therefore the cache key.
+    """
+    h = hashlib.sha256()
+    h.update(struct.pack("<I", len(flows)))
+    for flow in flows:
+        h.update(flow.label.encode())
+        h.update(struct.pack("<I", len(flow.packets)))
+        for p in flow.packets:
+            h.update(struct.pack("<d", p.timestamp))
+            h.update(p.to_bytes())
+    return h.hexdigest()
+
+
+def pipeline_cache_key(config: PipelineConfig, flows: list[Flow]) -> str:
+    """Cache key = hash(config + dataset fingerprint + format version)."""
+    payload = json.dumps(
+        {
+            "format_version": _FORMAT_VERSION,
+            "config": config.__dict__,
+            "dataset": dataset_fingerprint(flows),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def _post_fit_rng(config: PipelineConfig) -> np.random.Generator:
+    """The canonical generation RNG for a cache-managed pipeline.
+
+    A freshly fitted pipeline's internal RNG has consumed training
+    entropy; a loaded one has not.  ``fit_or_load`` pins both to this
+    stream so cached and fresh pipelines generate *identical* flows when
+    no explicit RNG is passed — warm- and cold-cache harness runs agree.
+    """
+    return np.random.default_rng([config.seed, 0x9E3779B9])
+
+
+def fit_or_load(
+    config: PipelineConfig,
+    flows: list[Flow],
+    cache_dir: str | Path | None = None,
+    verbose: bool = False,
+) -> TextToTrafficPipeline:
+    """Fit a pipeline, or load the cached fit for identical inputs.
+
+    With ``cache_dir=None`` this is a plain ``fit`` (plus the
+    deterministic post-fit RNG).  Otherwise the archive lives at
+    ``<cache_dir>/pipeline-<key>.npz``; writes go through a temp file +
+    ``os.replace`` so concurrent worker processes never observe a
+    partial archive (worst case both fit and one write wins).
+    """
+    path = None
+    if cache_dir is not None:
+        key = pipeline_cache_key(config, flows)
+        path = Path(cache_dir) / f"pipeline-{key}.npz"
+        if path.exists():
+            with perf.timer("pipeline.cache_load"):
+                pipeline = load_pipeline(path)
+            perf.incr("pipeline.cache_hit")
+            pipeline._rng = _post_fit_rng(config)
+            return pipeline
+        perf.incr("pipeline.cache_miss")
+    pipeline = TextToTrafficPipeline(config)
+    pipeline.fit(flows, verbose=verbose)
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                save_pipeline(pipeline, f)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+    pipeline._rng = _post_fit_rng(config)
+    return pipeline
+
+
+def clear_pipeline_cache(cache_dir: str | Path) -> int:
+    """Delete every cached pipeline archive; returns how many were removed."""
+    removed = 0
+    cache_dir = Path(cache_dir)
+    if cache_dir.is_dir():
+        for entry in cache_dir.glob("pipeline-*.npz"):
+            entry.unlink()
+            removed += 1
+    return removed

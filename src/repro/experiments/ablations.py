@@ -23,7 +23,7 @@ import numpy as np
 from repro.baselines.netshare import PerClassNetShare
 from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.data import get_context
+from repro.experiments.data import fit_pipeline, get_context
 from repro.experiments.figure2 import expected_protocols, flow_compliance
 from repro.experiments.report import render_table
 from repro.experiments.table2 import _fit_and_score, _netflow_matrix
@@ -254,7 +254,9 @@ def run_lora_ablation(
         cfg = PipelineConfig(
             **{**config.pipeline.__dict__, "seed": config.seed + seed_offset}
         )
-        return TextToTrafficPipeline(cfg).fit(base_flows)
+        # Cached pretrains: the LoRA / full-FT continuations mutate the
+        # returned object, never the archive, so reuse across runs is safe.
+        return fit_pipeline(cfg, base_flows)
 
     # -- LoRA path
     lora_pipe = pretrain(41)

@@ -5,14 +5,25 @@ the 80/20 split, the fitted diffusion pipeline, the trained GAN, and the
 synthetic datasets they emit.  :class:`ExperimentContext` builds each
 piece lazily and exactly once, and :func:`get_context` memoises contexts
 per config so a full benchmark session trains each model a single time.
+
+On top of the in-process memoisation sits the *on-disk* fitted-pipeline
+cache (:func:`repro.core.serialization.fit_or_load`): when a cache
+directory is configured (:func:`set_cache_dir`, the ``REPRO_CACHE_DIR``
+environment variable, or the runner's ``--cache-dir`` flag), every
+pipeline fit in the harness — the shared base pipeline and the
+per-experiment refits — is keyed by (config, dataset fingerprint) and
+trained at most once per key across processes and across runs.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.baselines.netshare import NetShareSynthesizer
-from repro.core.pipeline import TextToTrafficPipeline
+from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
+from repro.core.serialization import fit_or_load
 from repro.experiments.config import ExperimentConfig
 from repro.ml.features import NetFlowRecord, netflow_record
 from repro.ml.split import stratified_split
@@ -21,6 +32,33 @@ from repro.traffic.dataset import TraceDataset, build_service_recognition_datase
 from repro.traffic.profiles import MICRO_LABELS
 
 _CONTEXTS: dict[tuple, "ExperimentContext"] = {}
+
+#: session-wide pipeline cache directory (None = on-disk cache disabled)
+_CACHE_DIR: str | None = os.environ.get("REPRO_CACHE_DIR") or None
+
+
+def set_cache_dir(path: str | None) -> None:
+    """Set (or clear, with None) the session's pipeline cache directory."""
+    global _CACHE_DIR
+    _CACHE_DIR = str(path) if path else None
+
+
+def get_cache_dir() -> str | None:
+    """The session's pipeline cache directory, if any."""
+    return _CACHE_DIR
+
+
+def fit_pipeline(
+    config: PipelineConfig, flows: list[Flow]
+) -> TextToTrafficPipeline:
+    """Fit (or load from the session cache) a pipeline on ``flows``.
+
+    The single entry point every experiment uses instead of calling
+    ``TextToTrafficPipeline(...).fit(...)`` directly — identical
+    (config, flows) pairs across table1/figure1/figure2/replay/fidelity
+    and across worker processes train exactly once.
+    """
+    return fit_or_load(config, flows, cache_dir=get_cache_dir())
 
 
 def get_context(config: ExperimentConfig) -> "ExperimentContext":
@@ -104,11 +142,15 @@ class ExperimentContext:
     # -- models ----------------------------------------------------------------
     @property
     def pipeline(self) -> TextToTrafficPipeline:
-        """The fitted diffusion pipeline (trained once per context)."""
+        """The fitted diffusion pipeline (trained once per context).
+
+        Goes through :func:`fit_pipeline`, so with a cache directory
+        configured the fit is shared on disk across processes and runs.
+        """
         if self._pipeline is None:
-            pipe = TextToTrafficPipeline(self.config.pipeline)
-            pipe.fit(self.finetune_flows)
-            self._pipeline = pipe
+            self._pipeline = fit_pipeline(
+                self.config.pipeline, self.finetune_flows
+            )
         return self._pipeline
 
     @property

@@ -18,10 +18,10 @@ import numpy as np
 
 from repro.core.anomaly import AnomalyScorer
 from repro.core.inpaint import TrafficDeblurrer, field_mask
-from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
+from repro.core.pipeline import PipelineConfig
 from repro.core.transfer import TrafficTranslator
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.data import get_context
+from repro.experiments.data import fit_pipeline, get_context
 from repro.experiments.report import render_table
 from repro.net.headers import IPProto
 from repro.nprint.decoder import read_field
@@ -141,8 +141,7 @@ def run_vpn_translation(
     pipe_cfg = PipelineConfig(
         **{**config.pipeline.__dict__, "seed": config.seed + 85}
     )
-    pipeline = TextToTrafficPipeline(pipe_cfg).fit(
-        netflix + youtube + netflix_vpn)
+    pipeline = fit_pipeline(pipe_cfg, netflix + youtube + netflix_vpn)
     translator = TrafficTranslator(pipeline)
     direction = translator.condition_direction(
         netflix, netflix_vpn, "plain", "vpn")
@@ -216,8 +215,7 @@ def run_condition_transfer(
         Flow(packets=f.packets, label=f.label + "-throttled")
         for f in conditioned
     ]
-    pipeline = TextToTrafficPipeline(pipe_cfg).fit(
-        base + conditioned_labelled + target)
+    pipeline = fit_pipeline(pipe_cfg, base + conditioned_labelled + target)
     translator = TrafficTranslator(pipeline)
     direction = translator.condition_direction(base, conditioned,
                                                "unthrottled", "throttled")

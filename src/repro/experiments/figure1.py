@@ -20,9 +20,9 @@ import numpy as np
 
 from repro.baselines.gan import GANConfig
 from repro.baselines.netshare import NetShareSynthesizer
-from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
+from repro.core.pipeline import PipelineConfig
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.data import get_context
+from repro.experiments.data import fit_pipeline, get_context
 from repro.experiments.report import render_bars, render_table
 from repro.ml.metrics import class_proportions, imbalance_ratio, normalized_entropy
 
@@ -123,7 +123,7 @@ def run_figure1_2class(
     pipe_cfg = PipelineConfig(
         **{**config.pipeline.__dict__, "seed": config.seed + 7}
     )
-    pipeline = TextToTrafficPipeline(pipe_cfg).fit(finetune)
+    pipeline = fit_pipeline(pipe_cfg, finetune)
     per_class = max(1, n_total // 2)
     ours_labels = [
         f.label for f in pipeline.generate_balanced(per_class)

@@ -1,18 +1,44 @@
 """Run every experiment and print the paper-vs-measured report.
 
+The harness is a *stage graph*: every experiment is declared as a
+:class:`Stage` with explicit dependencies, and independent stages can be
+fanned out across worker processes (``--jobs N``).  Three properties make
+the parallel mode safe:
+
+* **Deterministic per-stage seeds.**  Every stage derives its RNG streams
+  from ``config.seed`` alone, and each worker rebuilds its experiment
+  context from scratch, so a stage's result is independent of scheduling
+  order and of the number of workers.
+* **Shared fits via the on-disk pipeline cache.**  Before fanning out,
+  the parent fits the shared base pipeline once into the content-addressed
+  cache (:func:`repro.core.serialization.fit_or_load`); workers load it
+  instead of retraining.  ``--cache-dir`` persists the cache across runs
+  (a temp directory is used otherwise).
+* **Merged perf telemetry.**  Each worker ships its ``repro.perf``
+  snapshot back with the stage result and the parent folds it into its
+  own registry, so ``--perf`` reports stay complete under ``--jobs``.
+
 Usage::
 
     python -m repro.experiments.runner --preset quick
+    python -m repro.experiments.runner --preset tiny --jobs 4 \
+        --cache-dir .repro_cache --perf
     python -m repro.experiments.runner --preset tiny --skip ablations
 """
 
 from __future__ import annotations
 
 import argparse
+import shutil
+import tempfile
 import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
 
+from repro import perf
 from repro.experiments import (
     ablations,
+    data,
     extensions,
     figure1,
     figure2,
@@ -24,68 +50,238 @@ from repro.experiments.fidelity import run_fidelity
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 
-EXPERIMENTS = (
-    "table1",
-    "table2",
-    "figure1",
-    "figure2",
-    "speed",
-    "replay",
-    "ablations",
-    "extensions",
-    "fidelity",
+
+# -- stage bodies (module-level so the process pool can pickle them) ---------
+def _stage_table1(config: ExperimentConfig, output_dir: str | None):
+    return run_table1(config)
+
+
+def _stage_table2(config: ExperimentConfig, output_dir: str | None):
+    return run_table2(config)
+
+
+def _stage_figure1(config: ExperimentConfig, output_dir: str | None):
+    return {
+        "11class": figure1.run_figure1_11class(config),
+        "2class": figure1.run_figure1_2class(config),
+    }
+
+
+def _stage_figure2(config: ExperimentConfig, output_dir: str | None):
+    return figure2.run_figure2(config, output_dir=output_dir)
+
+
+def _stage_speed(config: ExperimentConfig, output_dir: str | None):
+    return speed.run_speed(config)
+
+
+def _stage_replay(config: ExperimentConfig, output_dir: str | None):
+    return replay_exp.run_replay(config)
+
+
+def _stage_ablations(config: ExperimentConfig, output_dir: str | None):
+    return {
+        "per_class_gan": ablations.run_per_class_gan(config),
+        "control": ablations.run_control_ablation(config),
+        "lora": ablations.run_lora_ablation(config),
+    }
+
+
+def _stage_extensions(config: ExperimentConfig, output_dir: str | None):
+    return {
+        "deblurring": extensions.run_deblurring(config),
+        "vpn_translation": extensions.run_vpn_translation(config),
+        "condition_transfer": extensions.run_condition_transfer(config),
+        "anomaly": extensions.run_anomaly_detection(config),
+        "few_shot": extensions.run_few_shot(config),
+    }
+
+
+def _stage_fidelity(config: ExperimentConfig, output_dir: str | None):
+    return run_fidelity(config)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One declared harness stage.
+
+    ``deps`` are stage names that must finish first (skipped deps count
+    as satisfied).  ``needs_pipeline`` marks stages that consume the
+    shared fitted base pipeline; the parallel scheduler warms the
+    pipeline cache once before fanning those out.
+    """
+
+    name: str
+    fn: object
+    deps: tuple[str, ...] = ()
+    needs_pipeline: bool = False
+
+
+STAGES: tuple[Stage, ...] = (
+    Stage("table1", _stage_table1),
+    Stage("table2", _stage_table2, needs_pipeline=True),
+    Stage("figure1", _stage_figure1, needs_pipeline=True),
+    Stage("figure2", _stage_figure2, needs_pipeline=True),
+    Stage("speed", _stage_speed, needs_pipeline=True),
+    Stage("replay", _stage_replay, needs_pipeline=True),
+    Stage("ablations", _stage_ablations, needs_pipeline=True),
+    Stage("extensions", _stage_extensions, needs_pipeline=True),
+    Stage("fidelity", _stage_fidelity, needs_pipeline=True),
 )
+
+_STAGE_BY_NAME = {s.name: s for s in STAGES}
+
+EXPERIMENTS = tuple(s.name for s in STAGES)
+
+
+def _render_result(result) -> None:
+    parts = result.values() if isinstance(result, dict) else [result]
+    for part in parts:
+        print(part.render())
+        print()
+
+
+def _run_stage_worker(
+    name: str,
+    config: ExperimentConfig,
+    output_dir: str | None,
+    cache_dir: str | None,
+):
+    """Execute one stage in a worker process.
+
+    Starts from a clean slate — fresh perf registry, fresh experiment
+    context, the shared cache directory — so the result only depends on
+    ``config`` and the stage itself.  Returns the result, the stage
+    wall-clock, and the worker's perf snapshot for the parent to merge.
+    """
+    perf.reset()
+    data.clear_contexts()
+    data.set_cache_dir(cache_dir)
+    start = time.perf_counter()
+    result = _STAGE_BY_NAME[name].fn(config, output_dir)
+    return result, time.perf_counter() - start, perf.snapshot()
+
+
+def _run_sequential(
+    stages: list[Stage],
+    config: ExperimentConfig,
+    output_dir: str | None,
+    results: dict[str, object],
+    timings: dict[str, float],
+) -> None:
+    for stage in stages:
+        print(f"\n=== {stage.name} ===", flush=True)
+        start = time.perf_counter()
+        results[stage.name] = stage.fn(config, output_dir)
+        elapsed = time.perf_counter() - start
+        timings[stage.name] = elapsed
+        print(f"=== {stage.name} done ({elapsed:.1f}s) ===")
+        _render_result(results[stage.name])
+
+
+def _run_parallel(
+    stages: list[Stage],
+    config: ExperimentConfig,
+    output_dir: str | None,
+    jobs: int,
+    cache_dir: str | None,
+    results: dict[str, object],
+    timings: dict[str, float],
+) -> None:
+    temp_cache = None
+    if cache_dir is None:
+        # Workers still need a shared fit — use a run-scoped temp cache.
+        temp_cache = tempfile.mkdtemp(prefix="repro-pipeline-cache-")
+        cache_dir = temp_cache
+    data.set_cache_dir(cache_dir)
+    try:
+        if any(s.needs_pipeline for s in stages):
+            print("\n=== prewarm (shared pipeline -> cache) ===", flush=True)
+            start = time.perf_counter()
+            data.get_context(config).pipeline
+            elapsed = time.perf_counter() - start
+            timings["prewarm"] = elapsed
+            print(f"=== prewarm done ({elapsed:.1f}s) ===")
+
+        remaining = list(stages)
+        done: set[str] = {s.name for s in STAGES if s not in stages}
+        pending: dict = {}
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            while remaining or pending:
+                ready = [
+                    s for s in remaining
+                    if all(d in done for d in s.deps)
+                ]
+                for stage in ready:
+                    remaining.remove(stage)
+                    print(f"\n=== {stage.name} started ===", flush=True)
+                    future = pool.submit(
+                        _run_stage_worker, stage.name, config, output_dir,
+                        cache_dir,
+                    )
+                    pending[future] = stage
+                if not pending:
+                    raise RuntimeError(
+                        "stage dependency cycle among "
+                        f"{sorted(s.name for s in remaining)}"
+                    )
+                finished = wait(set(pending), return_when=FIRST_COMPLETED)
+                for future in finished.done:
+                    stage = pending.pop(future)
+                    result, elapsed, snap = future.result()
+                    results[stage.name] = result
+                    timings[stage.name] = elapsed
+                    perf.get_registry().merge_snapshot(snap)
+                    done.add(stage.name)
+                    print(f"\n=== {stage.name} done ({elapsed:.1f}s) ===")
+                    _render_result(result)
+    finally:
+        if temp_cache is not None:
+            shutil.rmtree(temp_cache, ignore_errors=True)
 
 
 def run_all(
     config: ExperimentConfig,
     skip: tuple[str, ...] = (),
     output_dir: str | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    timings: dict[str, float] | None = None,
 ) -> dict[str, object]:
-    """Run the full harness; returns {experiment: result object}."""
+    """Run the full harness; returns {experiment: result object}.
+
+    ``jobs > 1`` fans independent stages out over that many worker
+    processes.  ``cache_dir`` enables the on-disk fitted-pipeline cache
+    (always enabled — via a temp directory — in parallel mode).
+    ``timings``, when given, is filled with per-stage wall-clock seconds
+    (feed it to :func:`write_markdown`).
+    """
     results: dict[str, object] = {}
-
-    def stage(name: str, fn):
-        if name in skip:
-            return
-        start = time.perf_counter()
-        results[name] = fn()
-        print(f"\n=== {name} ({time.perf_counter() - start:.1f}s) ===")
-        rendered = results[name]
-        if isinstance(rendered, dict):
-            for sub in rendered.values():
-                print(sub.render())
-                print()
+    timings = timings if timings is not None else {}
+    previous_cache_dir = data.get_cache_dir()
+    if cache_dir is not None:
+        data.set_cache_dir(str(cache_dir))
+    stages = [s for s in STAGES if s.name not in skip]
+    try:
+        if jobs <= 1:
+            _run_sequential(stages, config, output_dir, results, timings)
         else:
-            print(rendered.render())
-
-    stage("table1", lambda: run_table1(config))
-    stage("table2", lambda: run_table2(config))
-    stage("figure1", lambda: {
-        "11class": figure1.run_figure1_11class(config),
-        "2class": figure1.run_figure1_2class(config),
-    })
-    stage("figure2", lambda: figure2.run_figure2(config, output_dir=output_dir))
-    stage("speed", lambda: speed.run_speed(config))
-    stage("replay", lambda: replay_exp.run_replay(config))
-    stage("ablations", lambda: {
-        "per_class_gan": ablations.run_per_class_gan(config),
-        "control": ablations.run_control_ablation(config),
-        "lora": ablations.run_lora_ablation(config),
-    })
-    stage("extensions", lambda: {
-        "deblurring": extensions.run_deblurring(config),
-        "vpn_translation": extensions.run_vpn_translation(config),
-        "condition_transfer": extensions.run_condition_transfer(config),
-        "anomaly": extensions.run_anomaly_detection(config),
-        "few_shot": extensions.run_few_shot(config),
-    })
-    stage("fidelity", lambda: run_fidelity(config))
+            _run_parallel(stages, config, output_dir, jobs, cache_dir,
+                          results, timings)
+            # Completion order is scheduling-dependent; report in stage
+            # order.
+            results = {
+                name: results[name]
+                for name in EXPERIMENTS if name in results
+            }
+    finally:
+        data.set_cache_dir(previous_cache_dir)
     return results
 
 
 def write_markdown(results: dict[str, object], path: str,
-                   config: ExperimentConfig) -> None:
+                   config: ExperimentConfig,
+                   timings: dict[str, float] | None = None) -> None:
     """Write every result's rendering into one markdown report."""
     lines = [
         "# Experiment report",
@@ -94,6 +290,15 @@ def write_markdown(results: dict[str, object], path: str,
         f"dataset scale {config.dataset_scale})",
         "",
     ]
+    if timings:
+        lines.append("## Stage timings")
+        lines.append("")
+        lines.append("| stage | wall-clock (s) |")
+        lines.append("| --- | ---: |")
+        for name, seconds in timings.items():
+            lines.append(f"| {name} | {seconds:.2f} |")
+        lines.append(f"| **total** | **{sum(timings.values()):.2f}** |")
+        lines.append("")
     for name, result in results.items():
         lines.append(f"## {name}")
         lines.append("")
@@ -117,13 +322,29 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--output-dir", default="experiment_outputs")
     parser.add_argument("--markdown", default=None,
                         help="also write the report to this markdown file")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent stages "
+                        "(1 = sequential)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk fitted-pipeline cache directory "
+                        "(persists fits across runs; parallel runs use a "
+                        "temp cache when unset)")
+    parser.add_argument("--perf", action="store_true",
+                        help="print the merged perf report afterwards")
     args = parser.parse_args(argv)
     config = preset(args.preset, seed=args.seed)
+    if args.perf:
+        perf.reset()
+    timings: dict[str, float] = {}
     results = run_all(config, skip=tuple(args.skip),
-                      output_dir=args.output_dir)
+                      output_dir=args.output_dir, jobs=args.jobs,
+                      cache_dir=args.cache_dir, timings=timings)
     if args.markdown:
-        write_markdown(results, args.markdown, config)
+        write_markdown(results, args.markdown, config, timings=timings)
         print(f"\nmarkdown report written to {args.markdown}")
+    if args.perf:
+        print()
+        print(perf.render("run_all perf"))
 
 
 if __name__ == "__main__":

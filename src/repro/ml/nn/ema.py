@@ -10,15 +10,24 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import perf
 from repro.ml.nn.modules import Module
 
 
 class ExponentialMovingAverage:
-    """Shadow copy of a module's parameters, updated multiplicatively."""
+    """Shadow copy of a module's parameters, updated multiplicatively.
+
+    Construction and every update bump the ``ema.construct`` /
+    ``ema.update`` perf counters, so a training path that is *supposed*
+    to run EMA-free (``use_ema=False``) can assert it performed zero EMA
+    work — shadow copies of every parameter are not cheap to allocate
+    transiently.
+    """
 
     def __init__(self, module: Module, decay: float = 0.999):
         if not 0.0 < decay < 1.0:
             raise ValueError("decay must be in (0, 1)")
+        perf.incr("ema.construct")
         self.decay = decay
         self._shadow = {
             name: p.data.copy() for name, p in module.named_parameters()
@@ -27,6 +36,7 @@ class ExponentialMovingAverage:
 
     def update(self, module: Module) -> None:
         """Fold the module's current parameters into the shadow."""
+        perf.incr("ema.update")
         self._updates += 1
         # Warm-up correction keeps early averages close to the iterate.
         decay = min(self.decay, (1 + self._updates) / (10 + self._updates))

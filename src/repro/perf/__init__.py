@@ -17,6 +17,7 @@ from repro.perf.instrumentation import (
     counter,
     get_registry,
     incr,
+    merge_snapshot,
     render,
     reset,
     snapshot,
@@ -30,6 +31,7 @@ __all__ = [
     "counter",
     "get_registry",
     "incr",
+    "merge_snapshot",
     "render",
     "reset",
     "snapshot",

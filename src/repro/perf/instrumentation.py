@@ -123,6 +123,25 @@ class PerfRegistry:
             mine.calls += stat.calls
             mine.seconds += stat.seconds
 
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "PerfRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        The inverse of :meth:`snapshot`; lets a worker process ship its
+        perf totals back to the parent as plain JSON-serialisable data.
+        """
+        registry = cls()
+        registry.counters.update(snapshot.get("counters", {}))
+        for name, stat in snapshot.get("timers", {}).items():
+            registry.timers[name] = TimerStat(
+                calls=int(stat["calls"]), seconds=float(stat["seconds"])
+            )
+        return registry
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. from a child process) in."""
+        self.merge(self.from_snapshot(snapshot))
+
     def render(self, title: str = "perf report") -> str:
         """A fixed-width text report of timers then counters."""
         lines = [title, "=" * len(title)]
@@ -182,6 +201,11 @@ def reset() -> None:
 def snapshot() -> dict:
     """Snapshot the default registry."""
     return _DEFAULT.snapshot()
+
+
+def merge_snapshot(snap: dict) -> None:
+    """Fold a snapshot dict (e.g. from a worker process) into the default."""
+    _DEFAULT.merge_snapshot(snap)
 
 
 def render(title: str = "perf report") -> str:

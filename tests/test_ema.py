@@ -74,3 +74,44 @@ class TestPipelineEMA:
         out = pipeline.generate("netflix", 3,
                                 rng=np.random.default_rng(0))
         assert all(len(f) > 0 for f in out)
+
+
+class TestEMAOverhead:
+    """The default (``use_ema=False``) training path must do zero EMA work.
+
+    EMA shadows copy every parameter at construction and touch every
+    parameter per update — transient allocations on a path that never
+    samples from them would be pure overhead.  The ``ema.construct`` /
+    ``ema.update`` perf counters make that assertable.
+    """
+
+    def _fit(self, **overrides):
+        from repro import perf
+
+        flows = generate_app_flows("netflix", 8, seed=57) + \
+            generate_app_flows("teams", 8, seed=58)
+        config = PipelineConfig(
+            max_packets=8, latent_dim=20, hidden=40, blocks=2,
+            timesteps=60, train_steps=30, controlnet_steps=15,
+            ddim_steps=6, seed=4, **overrides,
+        )
+        registry = perf.get_registry()
+        before = (registry.count("ema.construct"),
+                  registry.count("ema.update"))
+        TextToTrafficPipeline(config).fit(flows)
+        return (registry.count("ema.construct") - before[0],
+                registry.count("ema.update") - before[1])
+
+    def test_default_config_performs_zero_ema_work(self):
+        assert PipelineConfig().use_ema is False
+        constructs, updates = self._fit()
+        assert constructs == 0
+        assert updates == 0
+
+    def test_ema_enabled_counts_one_update_pair_per_base_step(self):
+        constructs, updates = self._fit(use_ema=True)
+        # One shadow each for the denoiser and the prompt encoder,
+        # updated every base-training step (ControlNet training is
+        # EMA-free by design).
+        assert constructs == 2
+        assert updates == 2 * 30

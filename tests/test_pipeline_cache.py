@@ -1,0 +1,159 @@
+"""Tests for the content-addressed fitted-pipeline cache.
+
+The cache (:func:`repro.core.serialization.fit_or_load`) keys archives by
+a digest of the pipeline config plus a fingerprint of the training flows.
+The load-bearing guarantee: a pipeline loaded from the cache generates
+*identical* flows to a freshly fitted one for identical RNG streams —
+warm- and cold-cache harness runs must agree bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
+from repro.core.serialization import (
+    clear_pipeline_cache,
+    dataset_fingerprint,
+    fit_or_load,
+    pipeline_cache_key,
+)
+from repro.experiments import data
+from repro.traffic.dataset import generate_app_flows
+
+
+def _config(**overrides):
+    base = dict(
+        max_packets=8, latent_dim=16, hidden=32, blocks=2,
+        timesteps=40, train_steps=20, controlnet_steps=10,
+        ddim_steps=6, seed=5,
+    )
+    base.update(overrides)
+    return PipelineConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def flows():
+    return generate_app_flows("netflix", 8, seed=11) + \
+        generate_app_flows("teams", 8, seed=12)
+
+
+@pytest.fixture(scope="module")
+def cache(flows, tmp_path_factory):
+    """One cold fit (populates the cache) + one warm load, shared below."""
+    cache_dir = tmp_path_factory.mktemp("pipeline-cache")
+    registry = perf.get_registry()
+    miss0 = registry.count("pipeline.cache_miss")
+    hit0 = registry.count("pipeline.cache_hit")
+    fresh = fit_or_load(_config(), flows, cache_dir=cache_dir)
+    cached = fit_or_load(_config(), flows, cache_dir=cache_dir)
+    return {
+        "dir": cache_dir,
+        "fresh": fresh,
+        "cached": cached,
+        "misses": registry.count("pipeline.cache_miss") - miss0,
+        "hits": registry.count("pipeline.cache_hit") - hit0,
+    }
+
+
+def _flow_digest(flows):
+    # Any difference in labels, packet bytes or timestamps changes this.
+    return dataset_fingerprint(flows)
+
+
+class TestCachedVsFreshParity:
+    def test_identical_flows_for_identical_rng(self, cache):
+        a = cache["fresh"].generate("netflix", 4,
+                                    rng=np.random.default_rng(42))
+        b = cache["cached"].generate("netflix", 4,
+                                     rng=np.random.default_rng(42))
+        assert _flow_digest(a) == _flow_digest(b)
+
+    def test_identical_flows_on_internal_rng(self, cache):
+        # A fresh fit's rng has consumed training entropy, a loaded one
+        # hasn't; fit_or_load pins both to the same post-fit stream.
+        a = cache["fresh"].generate("teams", 3)
+        b = cache["cached"].generate("teams", 3)
+        assert _flow_digest(a) == _flow_digest(b)
+
+    def test_identical_latents_bitwise(self, cache):
+        za = cache["fresh"].sample_latents(
+            "netflix", 5, steps=6, rng=np.random.default_rng(7))
+        zb = cache["cached"].sample_latents(
+            "netflix", 5, steps=6, rng=np.random.default_rng(7))
+        assert np.array_equal(za, zb)
+
+    def test_no_cache_dir_matches_cached_fit(self, flows, cache):
+        plain = fit_or_load(_config(), flows, cache_dir=None)
+        a = plain.generate("netflix", 2, rng=np.random.default_rng(1))
+        b = cache["cached"].generate("netflix", 2,
+                                     rng=np.random.default_rng(1))
+        assert _flow_digest(a) == _flow_digest(b)
+
+
+class TestCacheMechanics:
+    def test_one_miss_then_one_hit(self, cache):
+        assert cache["misses"] == 1
+        assert cache["hits"] == 1
+
+    def test_archive_on_disk_under_key(self, cache, flows):
+        key = pipeline_cache_key(_config(), flows)
+        assert (cache["dir"] / f"pipeline-{key}.npz").exists()
+        assert len(list(cache["dir"].glob("pipeline-*.npz"))) == 1
+
+    def test_clear_pipeline_cache(self, tmp_path, flows):
+        fit_or_load(_config(train_steps=2, controlnet_steps=2), flows[:4],
+                    cache_dir=tmp_path)
+        assert clear_pipeline_cache(tmp_path) == 1
+        assert not list(tmp_path.glob("pipeline-*.npz"))
+        assert clear_pipeline_cache(tmp_path) == 0
+        assert clear_pipeline_cache(tmp_path / "missing") == 0
+
+
+class TestCacheKey:
+    def test_stable_for_identical_inputs(self, flows):
+        assert pipeline_cache_key(_config(), flows) == \
+            pipeline_cache_key(_config(), flows)
+
+    def test_config_change_changes_key(self, flows):
+        assert pipeline_cache_key(_config(), flows) != \
+            pipeline_cache_key(_config(seed=6), flows)
+        assert pipeline_cache_key(_config(), flows) != \
+            pipeline_cache_key(_config(train_steps=21), flows)
+
+    def test_flow_set_change_changes_key(self, flows):
+        assert pipeline_cache_key(_config(), flows) != \
+            pipeline_cache_key(_config(), flows[:-1])
+
+    def test_fingerprint_sensitive_to_order_and_labels(self, flows):
+        assert dataset_fingerprint(flows) != \
+            dataset_fingerprint(list(reversed(flows)))
+        relabelled = [type(f)(packets=f.packets, label=f.label + "x")
+                      for f in flows]
+        assert dataset_fingerprint(flows) != dataset_fingerprint(relabelled)
+
+
+class TestSessionCacheDirPlumbing:
+    def test_fit_pipeline_routes_through_session_cache(self, tmp_path, flows):
+        registry = perf.get_registry()
+        previous = data.get_cache_dir()
+        data.set_cache_dir(tmp_path)
+        try:
+            miss0 = registry.count("pipeline.cache_miss")
+            hit0 = registry.count("pipeline.cache_hit")
+            cfg = _config(train_steps=3, controlnet_steps=2)
+            data.fit_pipeline(cfg, flows[:6])
+            data.fit_pipeline(cfg, flows[:6])
+            assert registry.count("pipeline.cache_miss") - miss0 == 1
+            assert registry.count("pipeline.cache_hit") - hit0 == 1
+            assert list(tmp_path.glob("pipeline-*.npz"))
+        finally:
+            data.set_cache_dir(previous)
+
+    def test_set_cache_dir_none_disables(self, flows):
+        previous = data.get_cache_dir()
+        data.set_cache_dir(None)
+        try:
+            assert data.get_cache_dir() is None
+        finally:
+            data.set_cache_dir(previous)

@@ -67,3 +67,73 @@ class TestRunner:
         config = preset("tiny", seed=7)
         assert config.seed == 7
         assert config.pipeline.seed == 7
+
+    def test_banner_announces_start_and_reports_timing(self, capsys):
+        config = tiny(seed=1)
+        skip = tuple(e for e in EXPERIMENTS if e != "table1")
+        timings = {}
+        run_all(config, skip=skip, timings=timings)
+        out = capsys.readouterr().out
+        # Start banner precedes the stage output; the done banner carries
+        # the measured wall-clock.
+        assert out.index("=== table1 ===") < out.index("Measured flows")
+        assert "=== table1 done (" in out
+        assert set(timings) == {"table1"}
+        assert timings["table1"] > 0
+
+    def test_markdown_includes_stage_timings(self, tmp_path):
+        config = tiny(seed=1)
+        skip = tuple(e for e in EXPERIMENTS if e != "table1")
+        timings = {}
+        results = run_all(config, skip=skip, timings=timings)
+        path = tmp_path / "report.md"
+        write_markdown(results, str(path), config, timings=timings)
+        text = path.read_text()
+        assert "## Stage timings" in text
+        assert "| table1 |" in text
+        assert "| **total** |" in text
+        # Timings section renders before the per-stage result blocks.
+        assert text.index("## Stage timings") < text.index("## table1")
+
+
+class TestParallelRunner:
+    def test_stage_graph_has_no_cycles(self):
+        from repro.experiments.runner import STAGES
+
+        names = {s.name for s in STAGES}
+        for stage in STAGES:
+            assert set(stage.deps) <= names - {stage.name}
+
+    def test_parallel_matches_sequential(self, tmp_path, capsys):
+        from repro import perf
+        from repro.experiments import data
+
+        config = tiny(seed=1)
+        skip = tuple(e for e in EXPERIMENTS
+                     if e not in ("table1", "figure2"))
+        data.clear_contexts()
+        seq = run_all(config, skip=skip, output_dir=str(tmp_path / "seq"))
+
+        data.clear_contexts()
+        perf.reset()
+        timings = {}
+        par = run_all(
+            config, skip=skip, output_dir=str(tmp_path / "par"), jobs=2,
+            cache_dir=str(tmp_path / "cache"), timings=timings,
+        )
+        out = capsys.readouterr().out
+
+        assert list(par) == [e for e in EXPERIMENTS if e not in skip]
+        # Deterministic per-stage seeds: same numbers either way.
+        assert seq["table1"].render() == par["table1"].render()
+        assert seq["figure2"].render() == par["figure2"].render()
+        # The parent prewarms the shared pipeline into the cache and the
+        # workers load it back; their perf snapshots merge into ours.
+        assert "prewarm" in timings
+        assert {"table1", "figure2"} <= set(timings)
+        assert "=== figure2 started ===" in out
+        assert "=== figure2 done (" in out
+        registry = perf.get_registry()
+        assert registry.count("pipeline.cache_hit") >= 1
+        assert registry.count("denoiser.forward") > 0
+        assert list((tmp_path / "cache").glob("pipeline-*.npz"))

@@ -1,5 +1,5 @@
 """Extra integration coverage: CLI label sidecars, dataset pcap round
-trips, and cross-module consistency checks."""
+trips, pipeline archive roundtrips, and cross-module consistency checks."""
 
 import numpy as np
 import pytest
@@ -99,3 +99,63 @@ class TestStateRepairBatchUniqueness:
         all_packets = [p for f in repaired for p in f.packets]
         report = ReplayEngine().replay(all_packets)
         assert report.compliance == 1.0
+
+
+class TestControlNetPipelineRoundtrip:
+    """A ControlNet-fitted pipeline must survive save/load bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, tmp_path_factory):
+        from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
+        from repro.core.serialization import load_pipeline, save_pipeline
+        from repro.traffic.dataset import generate_app_flows
+
+        flows = generate_app_flows("netflix", 8, seed=21) + \
+            generate_app_flows("teams", 8, seed=22)
+        config = PipelineConfig(
+            max_packets=8, latent_dim=16, hidden=32, blocks=2,
+            timesteps=40, train_steps=25, controlnet_steps=15,
+            ddim_steps=6, seed=6,
+        )
+        fitted = TextToTrafficPipeline(config).fit(flows)
+        assert fitted.controlnet is not None
+        path = tmp_path_factory.mktemp("archive") / "pipeline.npz"
+        save_pipeline(fitted, path)
+        return fitted, load_pipeline(path)
+
+    def test_sample_latents_bitwise_identical(self, pair):
+        fitted, loaded = pair
+        za = fitted.sample_latents(
+            "netflix", 5, steps=6, rng=np.random.default_rng(31))
+        zb = loaded.sample_latents(
+            "netflix", 5, steps=6, rng=np.random.default_rng(31))
+        assert np.array_equal(za, zb)
+
+    def test_control_off_latents_also_identical(self, pair):
+        fitted, loaded = pair
+        za = fitted.sample_latents(
+            "teams", 3, steps=5, use_control=False,
+            rng=np.random.default_rng(8))
+        zb = loaded.sample_latents(
+            "teams", 3, steps=5, use_control=False,
+            rng=np.random.default_rng(8))
+        assert np.array_equal(za, zb)
+
+    def test_controlnet_state_and_masks_roundtrip(self, pair):
+        fitted, loaded = pair
+        fast, back = fitted.controlnet.state_dict(), \
+            loaded.controlnet.state_dict()
+        assert fast.keys() == back.keys()
+        for name in fast:
+            assert np.array_equal(fast[name], back[name]), name
+        assert set(fitted.class_masks) == set(loaded.class_masks)
+        for name, mask in fitted.class_masks.items():
+            assert np.array_equal(mask, loaded.class_masks[name])
+
+    def test_generated_flows_identical(self, pair):
+        fitted, loaded = pair
+        from repro.core.serialization import dataset_fingerprint
+
+        a = fitted.generate("netflix", 3, rng=np.random.default_rng(2))
+        b = loaded.generate("netflix", 3, rng=np.random.default_rng(2))
+        assert dataset_fingerprint(a) == dataset_fingerprint(b)
