@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Classifier-benchmark smoke runner: track forest fit/predict speed.
+
+Times :class:`repro.ml.forest.RandomForest` on the nprint-bit workload
+the Table 2 / ablation experiments actually run (real scaled dataset,
+flattened ternary bit columns) and writes a ``BENCH_forest.json``
+artifact so CI (or a human) can diff classifier wall-clock against the
+recorded baseline.
+
+Usage::
+
+    REPRO_BENCH_PRESET=tiny PYTHONPATH=src python benchmarks/forest_smoke.py
+    PYTHONPATH=src python benchmarks/forest_smoke.py --preset tiny \
+        --out BENCH_forest.json
+
+The artifact keeps a ``baseline`` section per preset (written the first
+time a preset is benchmarked, then preserved verbatim — the committed
+one was recorded on the pre-binned-forest code) next to the ``current``
+section (overwritten on every run), plus fit/predict speedups of
+current over baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+# Workload knobs per preset: (dataset scale, feature packets, trees, depth).
+_WORKLOADS = {
+    "tiny": (0.008, 8, 10, 12),
+    "quick": (0.03, 12, 20, 16),
+    "paper": (0.1, 16, 30, 18),
+}
+
+
+def _build_workload(preset_name: str, seed: int):
+    from repro.ml.features import nprint_features
+    from repro.ml.split import encode_labels, stratified_split
+    from repro.traffic.dataset import build_service_recognition_dataset
+
+    scale, packets, trees, depth = _WORKLOADS[preset_name]
+    dataset = build_service_recognition_dataset(scale=scale, seed=seed)
+    X = nprint_features(dataset.flows, max_packets=packets)
+    y, _ = encode_labels(dataset.labels())
+    train_idx, test_idx = stratified_split(
+        dataset.labels(), test_fraction=0.2, seed=seed
+    )
+    return (
+        X[train_idx], y[train_idx], X[test_idx], y[test_idx], trees, depth,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--preset",
+        default=os.environ.get("REPRO_BENCH_PRESET", "tiny"),
+        choices=sorted(_WORKLOADS),
+        help="workload preset (tiny/quick/paper); default from "
+        "REPRO_BENCH_PRESET or 'tiny'",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="fit/predict repetitions (best time wins)")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent
+                    / "BENCH_forest.json"),
+    )
+    parser.add_argument(
+        "--rebaseline", action="store_true",
+        help="overwrite the stored baseline with this run",
+    )
+    args = parser.parse_args(argv)
+
+    from repro import perf
+    from repro.ml.forest import RandomForest
+    from repro.ml.metrics import accuracy
+
+    X_train, y_train, X_test, y_test, trees, depth = _build_workload(
+        args.preset, args.seed
+    )
+    print(
+        f"workload: preset={args.preset} "
+        f"train={X_train.shape} test={X_test.shape} "
+        f"trees={trees} depth={depth}"
+    )
+
+    perf.reset()
+    fit_seconds = predict_seconds = float("inf")
+    rf = None
+    for _ in range(max(1, args.repeats)):
+        start = time.perf_counter()
+        rf = RandomForest(n_trees=trees, max_depth=depth,
+                          seed=args.seed).fit(X_train, y_train)
+        fit_seconds = min(fit_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        proba = rf.predict_proba(X_test)
+        predict_seconds = min(predict_seconds, time.perf_counter() - start)
+    test_accuracy = accuracy(y_test, proba.argmax(axis=1))
+    snap = perf.snapshot()
+
+    section = {
+        "preset": args.preset,
+        "n_train": int(len(X_train)),
+        "n_test": int(len(X_test)),
+        "n_features": int(X_train.shape[1]),
+        "n_trees": trees,
+        "max_depth": depth,
+        "fit_seconds": round(fit_seconds, 4),
+        "predict_seconds": round(predict_seconds, 4),
+        "test_accuracy": round(float(test_accuracy), 4),
+        "splits_evaluated": snap["counters"].get("forest.splits_evaluated", 0),
+    }
+    print(
+        f"fit: {fit_seconds:.3f}s  predict: {predict_seconds:.3f}s  "
+        f"accuracy: {test_accuracy:.3f}"
+    )
+
+    path = Path(args.out)
+    doc = {}
+    if path.exists():
+        doc = json.loads(path.read_text())
+    entry = doc.setdefault(args.preset, {})
+    if "baseline" not in entry or args.rebaseline:
+        entry["baseline"] = section
+    entry["current"] = section
+    base = entry["baseline"]
+    entry["speedup_vs_baseline"] = {
+        "fit": round(base["fit_seconds"] / section["fit_seconds"], 3)
+        if section["fit_seconds"] > 0 else None,
+        "predict": round(
+            base["predict_seconds"] / section["predict_seconds"], 3)
+        if section["predict_seconds"] > 0 else None,
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    for key, x in entry["speedup_vs_baseline"].items():
+        if x:
+            print(f"  {key}: {x:.2f}x vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

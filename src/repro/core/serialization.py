@@ -9,6 +9,10 @@ generates identical flows for identical RNG streams.
 
 LoRA-adapted pipelines must be merged first (:func:`repro.core.lora.merge_lora`)
 — adapters are a training-time construct; the deployment form is dense.
+
+The module also hosts the two content-addressed fit caches the
+experiment harness shares: :func:`fit_or_load` for pipelines and
+:func:`fit_forest_or_load` for the Random Forest evaluation tier.
 """
 
 from __future__ import annotations
@@ -29,9 +33,11 @@ from repro.core.denoiser import ConditionalDenoiser
 from repro.core.lora import LoRALinear
 from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
 from repro.core.prompt import PromptCodebook, PromptEncoder
+from repro.ml.forest import RandomForest, _CompiledForest
 from repro.net.flow import Flow
 
 _FORMAT_VERSION = 1
+_FOREST_FORMAT_VERSION = 1
 
 
 def _module_state(prefix: str, module) -> dict[str, np.ndarray]:
@@ -241,6 +247,147 @@ def clear_pipeline_cache(cache_dir: str | Path) -> int:
     cache_dir = Path(cache_dir)
     if cache_dir.is_dir():
         for entry in cache_dir.glob("pipeline-*.npz"):
+            entry.unlink()
+            removed += 1
+    return removed
+
+
+# -- fitted-classifier cache --------------------------------------------------
+#
+# The evaluation tier refits the same Random Forest over the same feature
+# matrices again and again (Table 2 scenarios, ablations, repeated harness
+# runs).  A fitted forest is a pure function of (hyperparameters, X, y),
+# so the cache mirrors the pipeline cache above: archives are keyed by a
+# digest of exactly those inputs and the compiled flat-array form is what
+# gets stored — loading skips both the fit *and* the tree compilation.
+
+def save_forest(forest: RandomForest, path) -> None:
+    """Serialise a fitted forest's compiled arrays to ``path`` (npz)."""
+    if forest._compiled is None:
+        raise ValueError("cannot save an unfitted forest")
+    compiled = forest._compiled
+    meta = {
+        "format_version": _FOREST_FORMAT_VERSION,
+        "params": forest.get_params(),
+        "n_classes": forest.n_classes,
+        "n_features": forest.n_features_,
+    }
+    np.savez_compressed(
+        path,
+        meta_json=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        feature=compiled.feature,
+        threshold=compiled.threshold,
+        left=compiled.left,
+        right=compiled.right,
+        proba=compiled.proba,
+        roots=compiled.roots,
+        importances=forest.feature_importances_,
+    )
+
+
+def load_forest(path) -> RandomForest:
+    """Rebuild a forest saved by :func:`save_forest` (inference form).
+
+    The loaded forest predicts bit-for-bit like the fitted original; the
+    per-tree ``_Node`` structures are not restored (they are a training
+    construct — the deployment form is the flat-array ensemble).
+    """
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    meta = json.loads(bytes(arrays.pop("meta_json")).decode())
+    if meta.get("format_version") != _FOREST_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported forest archive version {meta.get('format_version')}"
+        )
+    forest = RandomForest(**meta["params"])
+    forest.n_classes = int(meta["n_classes"])
+    forest.n_features_ = int(meta["n_features"])
+    forest.feature_importances_ = arrays["importances"]
+    forest._compiled = _CompiledForest(
+        feature=arrays["feature"],
+        threshold=arrays["threshold"],
+        left=arrays["left"],
+        right=arrays["right"],
+        proba=arrays["proba"],
+        roots=arrays["roots"],
+        n_classes=int(meta["n_classes"]),
+    )
+    return forest
+
+
+def forest_fingerprint(X: np.ndarray, y: np.ndarray) -> str:
+    """Digest of a training matrix: shapes, dtypes, and raw bytes."""
+    X = np.ascontiguousarray(X)
+    y = np.ascontiguousarray(y)
+    h = hashlib.sha256()
+    h.update(
+        repr((X.shape, str(X.dtype), y.shape, str(y.dtype))).encode()
+    )
+    h.update(X.tobytes())
+    h.update(y.tobytes())
+    return h.hexdigest()
+
+
+def forest_cache_key(params: dict, X: np.ndarray, y: np.ndarray) -> str:
+    """Cache key = hash(hyperparams + data fingerprint + format version)."""
+    payload = json.dumps(
+        {
+            "format_version": _FOREST_FORMAT_VERSION,
+            "params": params,
+            "dataset": forest_fingerprint(X, y),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def fit_forest_or_load(
+    forest: RandomForest,
+    X: np.ndarray,
+    y: np.ndarray,
+    cache_dir: str | Path | None = None,
+) -> RandomForest:
+    """Fit ``forest`` on (X, y), or load the cached fit for identical inputs.
+
+    With ``cache_dir=None`` this is a plain ``fit``.  Otherwise the
+    archive lives at ``<cache_dir>/forest-<key>.npz``; writes go through
+    a temp file + ``os.replace`` so concurrent worker processes never
+    observe a partial archive.
+    """
+    X = np.asarray(X, dtype=np.float32)  # the dtype fit() trains on,
+    y = np.asarray(y, dtype=np.int64)  # so equivalent inputs hash equal
+    path = None
+    if cache_dir is not None:
+        key = forest_cache_key(forest.get_params(), X, y)
+        path = Path(cache_dir) / f"forest-{key}.npz"
+        if path.exists():
+            with perf.timer("forest.cache_load"):
+                loaded = load_forest(path)
+            perf.incr("forest.cache_hit")
+            return loaded
+        perf.incr("forest.cache_miss")
+    forest.fit(X, y)
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                save_forest(forest, f)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+    return forest
+
+
+def clear_forest_cache(cache_dir: str | Path) -> int:
+    """Delete every cached forest archive; returns how many were removed."""
+    removed = 0
+    cache_dir = Path(cache_dir)
+    if cache_dir.is_dir():
+        for entry in cache_dir.glob("forest-*.npz"):
             entry.unlink()
             removed += 1
     return removed

@@ -23,7 +23,7 @@ import numpy as np
 from repro.baselines.netshare import PerClassNetShare
 from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.data import fit_pipeline, get_context
+from repro.experiments.data import fit_forest, fit_pipeline, get_context
 from repro.experiments.figure2 import expected_protocols, flow_compliance
 from repro.experiments.report import render_table
 from repro.experiments.table2 import _fit_and_score, _netflow_matrix
@@ -178,7 +178,6 @@ def run_guidance_sweep(
     actually exposes.
     """
     from repro.ml.features import nprint_features
-    from repro.ml.forest import RandomForest
     from repro.ml.metrics import accuracy
     from repro.ml.split import encode_labels
 
@@ -189,8 +188,7 @@ def run_guidance_sweep(
     X_train = nprint_features(ctx.train_flows,
                               max_packets=config.rf_feature_packets)
     y_train, _ = encode_labels(train_labels, classes)
-    rf = RandomForest(n_trees=config.rf_trees, max_depth=config.rf_depth,
-                      seed=config.seed).fit(X_train, y_train)
+    rf = fit_forest(X_train, y_train, config)
 
     real_bits = encode_flows(ctx.test_flows, config.rf_feature_packets)
     rows = []

@@ -12,7 +12,9 @@ directory is configured (:func:`set_cache_dir`, the ``REPRO_CACHE_DIR``
 environment variable, or the runner's ``--cache-dir`` flag), every
 pipeline fit in the harness — the shared base pipeline and the
 per-experiment refits — is keyed by (config, dataset fingerprint) and
-trained at most once per key across processes and across runs.
+trained at most once per key across processes and across runs.  The
+same cache directory also holds the fitted Random Forest classifiers
+(:func:`fit_forest`), keyed by (hyperparams, feature-matrix digest).
 """
 
 from __future__ import annotations
@@ -23,9 +25,10 @@ import numpy as np
 
 from repro.baselines.netshare import NetShareSynthesizer
 from repro.core.pipeline import PipelineConfig, TextToTrafficPipeline
-from repro.core.serialization import fit_or_load
+from repro.core.serialization import fit_forest_or_load, fit_or_load
 from repro.experiments.config import ExperimentConfig
 from repro.ml.features import NetFlowRecord, netflow_record
+from repro.ml.forest import RandomForest
 from repro.ml.split import stratified_split
 from repro.net.flow import Flow
 from repro.traffic.dataset import TraceDataset, build_service_recognition_dataset
@@ -59,6 +62,22 @@ def fit_pipeline(
     and across worker processes train exactly once.
     """
     return fit_or_load(config, flows, cache_dir=get_cache_dir())
+
+
+def fit_forest(
+    X: np.ndarray, y: np.ndarray, config: ExperimentConfig
+) -> RandomForest:
+    """Fit (or load from the session cache) the standard RF classifier.
+
+    The single entry point every experiment scorer uses instead of
+    calling ``RandomForest(...).fit(...)`` directly — with a cache
+    directory configured, identical (hyperparams, X, y) triples across
+    Table 2 scenarios, ablations and repeated harness runs train once.
+    """
+    forest = RandomForest(
+        n_trees=config.rf_trees, max_depth=config.rf_depth, seed=config.seed
+    )
+    return fit_forest_or_load(forest, X, y, cache_dir=get_cache_dir())
 
 
 def get_context(config: ExperimentConfig) -> "ExperimentContext":

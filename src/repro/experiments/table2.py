@@ -26,10 +26,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.data import ExperimentContext, get_context
+from repro.experiments.data import ExperimentContext, fit_forest, get_context
 from repro.experiments.report import render_table
-from repro.ml.features import NetFlowRecord, nprint_features
-from repro.ml.forest import RandomForest
+from repro.ml.features import NetFlowRecord, netflow_matrix, nprint_features
 from repro.ml.metrics import accuracy
 from repro.ml.split import encode_labels
 from repro.net.flow import Flow
@@ -96,16 +95,12 @@ def _fit_and_score(
         classes = sorted({macro_label(c) for c in classes})
     y_train, _ = encode_labels(labels_train, classes)
     y_test, _ = encode_labels(labels_test, classes)
-    rf = RandomForest(
-        n_trees=config.rf_trees,
-        max_depth=config.rf_depth,
-        seed=config.seed,
-    ).fit(X_train, y_train)
+    rf = fit_forest(X_train, y_train, config)
     return accuracy(y_test, rf.predict(X_test))
 
 
 def _netflow_matrix(records: list[NetFlowRecord]) -> np.ndarray:
-    return np.stack([r.vector(include_overfit=False) for r in records])
+    return netflow_matrix(records, include_overfit=False)
 
 
 def _flow_features(flows: list[Flow], config: ExperimentConfig) -> np.ndarray:

@@ -6,6 +6,7 @@ from repro.ml.features import (
     NetFlowRecord,
     netflow_feature_names,
     netflow_features,
+    netflow_matrix,
     netflow_record,
     nprint_features,
     nprint_matrix_features,
@@ -16,6 +17,7 @@ from repro.ml.importance import (
     FieldImportance,
     ImportanceReport,
     fold_importances,
+    forest_importance_report,
 )
 from repro.ml.metrics import (
     accuracy,
@@ -35,6 +37,7 @@ __all__ = [
     "DecisionTree",
     "RandomForest",
     "fold_importances",
+    "forest_importance_report",
     "ImportanceReport",
     "FieldImportance",
     "accuracy",
@@ -52,6 +55,7 @@ __all__ = [
     "OVERFIT_NETFLOW_FIELDS",
     "netflow_record",
     "netflow_features",
+    "netflow_matrix",
     "netflow_feature_names",
     "nprint_features",
     "nprint_matrix_features",

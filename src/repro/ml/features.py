@@ -114,9 +114,55 @@ def netflow_record(flow: Flow) -> NetFlowRecord:
 def netflow_features(
     flows: list[Flow], include_overfit: bool = False
 ) -> np.ndarray:
-    """Feature matrix of NetFlow aggregates, one row per flow."""
-    return np.stack(
-        [netflow_record(f).vector(include_overfit) for f in flows]
+    """Feature matrix of NetFlow aggregates, one row per flow.
+
+    Built column-wise (one array per NetFlow field) rather than stacking
+    a per-flow :meth:`NetFlowRecord.vector` for every row; the output is
+    bit-for-bit identical to the per-record path
+    (``tests/test_features.py`` pins the parity).
+    """
+    if not flows:
+        raise ValueError("cannot build features for an empty flow list")
+    for flow in flows:
+        if not flow.packets:
+            raise ValueError("cannot summarise an empty flow")
+    n = len(flows)
+    firsts = [flow.packets[0] for flow in flows]
+    columns: dict[str, object] = {
+        "src_ip": lambda: (p.ip.src_ip for p in firsts),
+        "dst_ip": lambda: (p.ip.dst_ip for p in firsts),
+        "src_port": lambda: ((p.src_port or 0) for p in firsts),
+        "dst_port": lambda: ((p.dst_port or 0) for p in firsts),
+        "proto": lambda: (f.dominant_protocol for f in flows),
+        "start_time": lambda: (f.start_time for f in flows),
+        "duration": lambda: (f.duration for f in flows),
+        "n_packets": lambda: (len(f) for f in flows),
+        "n_bytes": lambda: (f.total_bytes for f in flows),
+    }
+    names = netflow_feature_names(include_overfit)
+    return np.column_stack(
+        [np.fromiter(columns[name](), dtype=np.float64, count=n)
+         for name in names]
+    )
+
+
+def netflow_matrix(
+    records: list[NetFlowRecord], include_overfit: bool = False
+) -> np.ndarray:
+    """Feature matrix from NetFlow records, one row per record.
+
+    The record-side counterpart of :func:`netflow_features`, used where
+    the records already exist (e.g. GAN-generated NetFlow); also built
+    column-wise instead of per-record ``vector()`` calls.
+    """
+    if not records:
+        raise ValueError("cannot build features for an empty record list")
+    n = len(records)
+    names = netflow_feature_names(include_overfit)
+    return np.column_stack(
+        [np.fromiter((getattr(r, name) for r in records),
+                     dtype=np.float64, count=n)
+         for name in names]
     )
 
 

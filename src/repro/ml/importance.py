@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ml.features import overfit_bit_mask
+from repro.ml.forest import RandomForest
 from repro.nprint.fields import FIELDS, NPRINT_BITS
 
 
@@ -89,4 +90,22 @@ def fold_importances(
     return ImportanceReport(
         by_field=ranked,
         by_packet=grid.sum(axis=1),
+    )
+
+
+def forest_importance_report(
+    forest: RandomForest,
+    max_packets: int,
+    drop_overfit: bool = True,
+) -> ImportanceReport:
+    """Fold a fitted forest's importances onto fields (convenience).
+
+    Works for both freshly fitted forests and forests loaded from the
+    classifier cache (:func:`repro.core.serialization.load_forest`),
+    whose importances ride along in the archive.
+    """
+    if forest.feature_importances_ is None:
+        raise ValueError("forest is not fitted")
+    return fold_importances(
+        forest.feature_importances_, max_packets, drop_overfit=drop_overfit
     )

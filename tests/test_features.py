@@ -8,6 +8,7 @@ from repro.ml.features import (
     OVERFIT_NETFLOW_FIELDS,
     netflow_feature_names,
     netflow_features,
+    netflow_matrix,
     netflow_record,
     nprint_features,
     nprint_matrix_features,
@@ -50,6 +51,44 @@ class TestNetFlowRecord:
     def test_matrix_shape(self, sample_flow):
         X = netflow_features([sample_flow, sample_flow])
         assert X.shape == (2, len(netflow_feature_names()))
+
+
+class TestNetflowVectorized:
+    """The column-wise fast paths must match the per-record reference."""
+
+    @pytest.fixture
+    def varied_flows(self, sample_flow, udp_packet, icmp_packet):
+        udp_flow = Flow(packets=[udp_packet], label="stun")
+        icmp_flow = Flow(packets=[icmp_packet], label="ping")
+        return [sample_flow, udp_flow, icmp_flow, sample_flow]
+
+    @pytest.mark.parametrize("include_overfit", [False, True])
+    def test_netflow_features_parity(self, varied_flows, include_overfit):
+        reference = np.stack(
+            [netflow_record(f).vector(include_overfit) for f in varied_flows]
+        )
+        fast = netflow_features(varied_flows, include_overfit)
+        assert fast.dtype == reference.dtype
+        assert np.array_equal(fast, reference)
+
+    @pytest.mark.parametrize("include_overfit", [False, True])
+    def test_netflow_matrix_parity(self, varied_flows, include_overfit):
+        records = [netflow_record(f) for f in varied_flows]
+        reference = np.stack(
+            [r.vector(include_overfit) for r in records]
+        )
+        fast = netflow_matrix(records, include_overfit)
+        assert np.array_equal(fast, reference)
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            netflow_features([])
+        with pytest.raises(ValueError):
+            netflow_matrix([])
+
+    def test_empty_flow_raises(self, sample_flow):
+        with pytest.raises(ValueError):
+            netflow_features([sample_flow, Flow()])
 
 
 class TestOverfitBitMask:
