@@ -95,7 +95,8 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 def _cmd_generate(args: argparse.Namespace) -> int:
     from repro import perf
     from repro.core.serialization import load_pipeline
-    from repro.net.pcap import write_pcap
+    from repro.net.packet import PacketRenderer, render_flows
+    from repro.net.pcap import PcapWriter, write_pcap
 
     if args.perf:
         perf.reset()
@@ -104,16 +105,42 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         print(f"unknown class {args.class_name!r}; model knows "
               f"{pipeline.codebook.classes}", file=sys.stderr)
         return 1
-    flows = pipeline.generate(
-        args.class_name, args.count,
-        state_repair=args.state_repair,
-        rng=np.random.default_rng(args.seed),
-    )
-    packets = sorted((p for f in flows for p in f.packets),
-                     key=lambda p: p.timestamp)
-    n = write_pcap(args.out, packets)
-    print(f"generated {len(flows)} {args.class_name} flows "
-          f"({n} packets) -> {args.out}")
+    dtype = np.float32 if args.fp32 else None
+    rng = np.random.default_rng(args.seed)
+    if args.stream_pcap:
+        # Streaming tier: sample -> decode -> render -> append, one chunk
+        # at a time, so peak memory is bounded by the chunk size instead
+        # of the flow count.  Records are written flow-major (flows are
+        # generated in order; packets within a flow are already sorted),
+        # unlike the batch path below which sorts all packets globally by
+        # timestamp — downstream tools that need a globally ordered
+        # capture should re-sort, e.g. ``reordercap``.
+        chunk = args.chunk if args.chunk > 0 else None
+        renderer = PacketRenderer()
+        flow_count = 0
+        packet_count = 0
+        with PcapWriter(open(args.out, "wb")) as writer:
+            for result in pipeline.generate_stream(
+                args.class_name, args.count, chunk=chunk,
+                state_repair=args.state_repair, rng=rng, dtype=dtype,
+            ):
+                datas, stamps = render_flows(result.flows, renderer)
+                packet_count += writer.write_many(datas, stamps)
+                flow_count += len(result.flows)
+        print(f"generated {flow_count} {args.class_name} flows "
+              f"({packet_count} packets, streamed) -> {args.out}")
+    else:
+        flows = pipeline.generate(
+            args.class_name, args.count,
+            state_repair=args.state_repair,
+            rng=rng,
+            dtype=dtype,
+        )
+        packets = sorted((p for f in flows for p in f.packets),
+                         key=lambda p: p.timestamp)
+        n = write_pcap(args.out, packets)
+        print(f"generated {len(flows)} {args.class_name} flows "
+              f"({n} packets) -> {args.out}")
     if args.perf:
         print()
         print(perf.render("generate perf"))
@@ -202,6 +229,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--state-repair", action="store_true")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
+    p.add_argument("--stream-pcap", action="store_true",
+                   help="stream chunks straight to the pcap (bounded "
+                        "memory, flow-major record order)")
+    p.add_argument("--chunk", type=int, default=0,
+                   help="flows per streamed chunk; 0 = 4x the model's "
+                        "generation batch")
+    p.add_argument("--fp32", action="store_true",
+                   help="run the denoiser stack in float32 (fast "
+                        "inference tier)")
     p.add_argument("--perf", action="store_true",
                    help="print stage timers and counters afterwards")
     p.set_defaults(fn=_cmd_generate)

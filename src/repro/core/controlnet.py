@@ -90,8 +90,14 @@ class ControlNetBranch(Module):
             self.register_module(f"zero{i}", proj)
 
     def pool_mask(self, mask: np.ndarray) -> np.ndarray:
-        """Average-pool a (B, 1088) mask batch to (B, in_dim)."""
-        mask = np.asarray(mask, dtype=np.float64)
+        """Average-pool a (B, 1088) mask batch to (B, in_dim).
+
+        float32 input is pooled in float32 (the inference tier); anything
+        else is promoted to float64 as before.
+        """
+        mask = np.asarray(mask)
+        if mask.dtype != np.float32:
+            mask = np.asarray(mask, dtype=np.float64)
         if mask.ndim == 1:
             mask = mask[None, :]
         if mask.shape[1] != NPRINT_BITS:

@@ -42,11 +42,20 @@ class DDIMSampler:
         steps: int = 50,
         clip_x0: float | None = 3.0,
         callback: Callable[[int, np.ndarray], None] | None = None,
+        dtype: np.dtype | None = None,
     ) -> np.ndarray:
-        """Generate samples with ``steps`` network evaluations."""
+        """Generate samples with ``steps`` network evaluations.
+
+        ``dtype`` selects the working precision of the trajectory (e.g.
+        ``np.float32`` for the fast inference tier).  Noise is always
+        drawn in float64 and cast, so the RNG stream — and therefore the
+        sample trajectory up to rounding — is independent of ``dtype``.
+        """
         schedule = self.diffusion.schedule
         ts = ddim_timesteps(schedule.timesteps, steps)
         x = rng.standard_normal(shape)
+        if dtype is not None:
+            x = x.astype(dtype, copy=False)
         for i, t in enumerate(ts):
             t_vec = np.full(shape[0], t, dtype=np.int64)
             eps = eps_model(x, t_vec)
@@ -54,21 +63,31 @@ class DDIMSampler:
             if clip_x0 is not None:
                 x0_hat = np.clip(x0_hat, -clip_x0, clip_x0)
             prev_t = ts[i + 1] if i + 1 < len(ts) else -1
+            # Coefficients as Python floats: bit-identical float64 math,
+            # and under NEP 50 they do not promote a float32 trajectory.
             alpha_bar_prev = (
-                schedule.alpha_bars[prev_t] if prev_t >= 0 else 1.0
+                float(schedule.alpha_bars[prev_t]) if prev_t >= 0 else 1.0
             )
-            alpha_bar = schedule.alpha_bars[t]
-            sigma = self.eta * np.sqrt(
-                (1 - alpha_bar_prev)
-                / (1 - alpha_bar)
-                * (1 - alpha_bar / alpha_bar_prev)
+            alpha_bar = float(schedule.alpha_bars[t])
+            sigma = float(
+                self.eta
+                * np.sqrt(
+                    (1 - alpha_bar_prev)
+                    / (1 - alpha_bar)
+                    * (1 - alpha_bar / alpha_bar_prev)
+                )
             )
-            dir_coeff = np.sqrt(np.maximum(1 - alpha_bar_prev - sigma**2, 0.0))
-            x = (
-                np.sqrt(alpha_bar_prev) * x0_hat
-                + dir_coeff * eps
-                + sigma * rng.standard_normal(shape)
+            dir_coeff = float(
+                np.sqrt(np.maximum(1 - alpha_bar_prev - sigma**2, 0.0))
             )
+            x = float(np.sqrt(alpha_bar_prev)) * x0_hat + dir_coeff * eps
+            # The noise draw is unconditional to keep the RNG stream (and
+            # eta=0 trajectories) identical across configurations; adding
+            # sigma * noise with sigma == 0 is a bitwise no-op, so it is
+            # skipped instead of materialised.
+            noise = rng.standard_normal(shape)
+            if sigma != 0.0:
+                x = x + sigma * noise.astype(x.dtype, copy=False)
             if callback is not None:
                 callback(int(t), x)
         return x

@@ -46,10 +46,14 @@ class GaussianDiffusion:
     ) -> np.ndarray:
         """Invert the forward process: estimate x0 from (x_t, eps)."""
         t = np.asarray(t, dtype=np.int64)
-        sqrt_ab = self.schedule.sqrt_alpha_bars[t].reshape(-1, *([1] * (x_t.ndim - 1)))
+        # Schedule gathers follow x_t's dtype (identity for float64) so
+        # float32 sampling does not promote back to float64 every step.
+        sqrt_ab = self.schedule.sqrt_alpha_bars[t].reshape(
+            -1, *([1] * (x_t.ndim - 1))
+        ).astype(x_t.dtype, copy=False)
         sqrt_1mab = self.schedule.sqrt_one_minus_alpha_bars[t].reshape(
             -1, *([1] * (x_t.ndim - 1))
-        )
+        ).astype(x_t.dtype, copy=False)
         return (x_t - sqrt_1mab * eps) / sqrt_ab
 
     # -- reverse process --------------------------------------------------------

@@ -108,7 +108,14 @@ class ConditionalDenoiser(Module):
             )
         perf.incr("denoiser.forward")
         perf.incr("denoiser.rows", len(z_t.data))
-        t_emb = Tensor(sinusoidal_time_embedding(t, self.time_dim))
+        # The embedding is computed in float64 for accuracy, then cast to
+        # the latent dtype (identity for the float64 path) so a float32
+        # forward stays float32 end-to-end.
+        t_emb = Tensor(
+            sinusoidal_time_embedding(t, self.time_dim).astype(
+                z_t.data.dtype, copy=False
+            )
+        )
         t_hidden = self.time_proj2(self.time_proj1(t_emb).silu())
         c_hidden = self.cond_proj(cond)
         h = self.input_proj(z_t)

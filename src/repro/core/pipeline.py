@@ -124,6 +124,9 @@ class TextToTrafficPipeline:
         self.class_heights: dict[str, float] = {}
         self.training_history: list[float] = []
         self.controlnet_history: list[float] = []
+        # dtype str -> (prompt_encoder, denoiser, controlnet) inference
+        # clones; see _inference_modules.
+        self._cast_cache: dict[str, tuple] = {}
 
     # -- representation -------------------------------------------------------
     def _flow_vector(self, flow: Flow) -> tuple[np.ndarray, np.ndarray]:
@@ -157,6 +160,7 @@ class TextToTrafficPipeline:
         """
         if not flows:
             raise ValueError("cannot fit on an empty flow list")
+        self._invalidate_cast_cache()
         labels = [f.label for f in flows]
         if any(not l for l in labels):
             raise ValueError("every training flow needs a label")
@@ -323,12 +327,47 @@ class TextToTrafficPipeline:
         if self.denoiser is None or self.codebook is None:
             raise RuntimeError("pipeline is not fitted")
 
+    def _invalidate_cast_cache(self) -> None:
+        cache = getattr(self, "_cast_cache", None)
+        if cache:
+            cache.clear()
+
+    def _inference_modules(self, dtype):
+        """(prompt_encoder, denoiser, controlnet) at inference precision.
+
+        ``dtype=None`` (or float64) returns the live training modules —
+        the unchanged default path.  Other dtypes return cached
+        :func:`~repro.ml.nn.modules.cast_module` clones, built once per
+        dtype and invalidated whenever the weights change (fit /
+        add_class).
+        """
+        if dtype is None or np.dtype(dtype) == np.float64:
+            return self.prompt_encoder, self.denoiser, self.controlnet
+        cache = getattr(self, "_cast_cache", None)
+        if cache is None:
+            cache = self._cast_cache = {}
+        key = np.dtype(dtype).str
+        clones = cache.get(key)
+        if clones is None:
+            from repro.ml.nn import cast_module
+
+            with perf.timer("pipeline.cast_modules"):
+                clones = (
+                    cast_module(self.prompt_encoder, dtype),
+                    cast_module(self.denoiser, dtype),
+                    cast_module(self.controlnet, dtype)
+                    if self.controlnet is not None else None,
+                )
+            cache[key] = clones
+        return clones
+
     def _eps_model(
         self,
         prompt: str,
         n: int,
         mask: np.ndarray | None,
         guidance_weight: float,
+        dtype=None,
     ):
         """Closure evaluating (classifier-free-guided) noise prediction.
 
@@ -341,21 +380,24 @@ class TextToTrafficPipeline:
         step instead of two, and zero prompt/ControlNet re-encodes inside
         the step loop.
         """
+        prompt_encoder, denoiser, controlnet = self._inference_modules(dtype)
         with perf.timer("pipeline.hoist_conditioning"):
-            cond_full = self.prompt_encoder([prompt] * n).data
+            cond_full = prompt_encoder([prompt] * n).data
             null_full = (
-                self.prompt_encoder([NULL_PROMPT] * n).data
+                prompt_encoder([NULL_PROMPT] * n).data
                 if guidance_weight > 0 else None
             )
             controls_full = None
-            if mask is not None and self.controlnet is not None:
+            if mask is not None and controlnet is not None:
                 # broadcast_to yields a read-only zero-stride view;
                 # materialize it so downstream reshapes are cheap and the
                 # batch is a normal writable array.
                 mask_batch = np.ascontiguousarray(
                     np.broadcast_to(mask, (n, mask.shape[0]))
                 )
-                controls_full = [c.data for c in self.controlnet(mask_batch)]
+                if dtype is not None:
+                    mask_batch = mask_batch.astype(dtype, copy=False)
+                controls_full = [c.data for c in controlnet(mask_batch)]
 
         def eps(x_t: np.ndarray, t: np.ndarray) -> np.ndarray:
             m = len(x_t)
@@ -363,7 +405,7 @@ class TextToTrafficPipeline:
                 controls = None
                 if controls_full is not None:
                     controls = [Tensor(c[:m]) for c in controls_full]
-                return self.denoiser(
+                return denoiser(
                     Tensor(x_t), t, Tensor(cond_full[:m]), controls
                 ).data
             # Fused classifier-free guidance: [cond rows; null rows].
@@ -377,7 +419,7 @@ class TextToTrafficPipeline:
                         [c[:m], np.zeros_like(c[:m])], axis=0))
                     for c in controls_full
                 ]
-            out = self.denoiser(Tensor(x2), t2, c2, controls2).data
+            out = denoiser(Tensor(x2), t2, c2, controls2).data
             eps_cond, eps_null = out[:m], out[m:]
             return (1 + guidance_weight) * eps_cond - guidance_weight * eps_null
 
@@ -391,8 +433,14 @@ class TextToTrafficPipeline:
         use_control: bool = True,
         guidance_weight: float | None = None,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> np.ndarray:
-        """Sample ``n`` latent vectors for ``class_name`` via DDIM."""
+        """Sample ``n`` latent vectors for ``class_name`` via DDIM.
+
+        ``dtype=np.float32`` runs the whole denoiser stack in single
+        precision (the fast inference tier); ``None`` keeps the float64
+        default bit-for-bit.  The RNG stream is dtype-independent.
+        """
         self._require_fitted()
         if n < 1:
             raise ValueError("n must be >= 1")
@@ -409,9 +457,10 @@ class TextToTrafficPipeline:
             while remaining > 0:
                 batch = min(remaining, cfg.generation_batch)
                 perf.incr("pipeline.sample_batches")
-                eps = self._eps_model(prompt, batch, mask, weight)
+                eps = self._eps_model(prompt, batch, mask, weight,
+                                      dtype=dtype)
                 z = sampler.sample(eps, (batch, self.codec.latent_dim), rng,
-                                   steps=steps)
+                                   steps=steps, dtype=dtype)
                 out.append(z)
                 remaining -= batch
         perf.incr("pipeline.sampled_flows", n)
@@ -427,6 +476,7 @@ class TextToTrafficPipeline:
         guidance_weight: float | None = None,
         state_repair: bool = False,
         rng: np.random.Generator | None = None,
+        dtype=None,
     ) -> GenerationResult:
         """Generate flows and return every intermediate artefact.
 
@@ -440,27 +490,47 @@ class TextToTrafficPipeline:
             raise KeyError(f"unknown class {class_name!r}")
         latents = self.sample_latents(
             class_name, n, steps=steps, use_control=use_control,
-            guidance_weight=guidance_weight, rng=rng,
+            guidance_weight=guidance_weight, rng=rng, dtype=dtype,
         )
-        vectors = self.codec.decode(latents)
-        continuous, gap_channels = self._devectorize(vectors)
-        mask = self.class_masks[class_name]
-        flows: list[Flow] = []
-        quantised = []
-        for i in range(n):
-            cont = continuous[i]
-            if hard_guidance:
-                cont = apply_structure_guidance(cont, mask)
-            decoded = matrix_to_flow(
-                cont, gaps_channel=gap_channels[i], label=class_name
-            )
-            flows.append(decoded.flow)
-            quantised.append(cont)
-        if state_repair:
-            # Batch repair assigns distinct client ports so flows from
-            # one generation call never collide on a 5-tuple at replay.
-            flows = repair_flows_state(flows, rng or self._rng)
-        gaps = channel_to_gaps(gap_channels)
+        return self._finalize_latents(
+            latents, class_name, hard_guidance=hard_guidance,
+            state_repair=state_repair, rng=rng,
+        )
+
+    def _finalize_latents(
+        self,
+        latents: np.ndarray,
+        class_name: str,
+        hard_guidance: bool = True,
+        state_repair: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> GenerationResult:
+        """Latents -> decoded, structure-guided, labelled flows.
+
+        The second half of :meth:`generate_raw`, shared verbatim with the
+        streaming path so chunked generation is byte-identical to batch.
+        """
+        n = len(latents)
+        with perf.timer("pipeline.finalize_latents"):
+            vectors = self.codec.decode(latents)
+            continuous, gap_channels = self._devectorize(vectors)
+            mask = self.class_masks[class_name]
+            flows: list[Flow] = []
+            quantised = []
+            for i in range(n):
+                cont = continuous[i]
+                if hard_guidance:
+                    cont = apply_structure_guidance(cont, mask)
+                decoded = matrix_to_flow(
+                    cont, gaps_channel=gap_channels[i], label=class_name
+                )
+                flows.append(decoded.flow)
+                quantised.append(cont)
+            if state_repair:
+                # Batch repair assigns distinct client ports so flows from
+                # one generation call never collide on a 5-tuple at replay.
+                flows = repair_flows_state(flows, rng or self._rng)
+            gaps = channel_to_gaps(gap_channels)
         return GenerationResult(
             flows=flows,
             matrices=np.stack(quantised),
@@ -468,6 +538,59 @@ class TextToTrafficPipeline:
             gaps=gaps,
             label=class_name,
         )
+
+    def generate_stream(
+        self,
+        class_name: str,
+        n: int,
+        chunk: int | None = None,
+        steps: int | None = None,
+        use_control: bool = True,
+        hard_guidance: bool = True,
+        guidance_weight: float | None = None,
+        state_repair: bool = False,
+        rng: np.random.Generator | None = None,
+        dtype=None,
+    ):
+        """Generate ``n`` flows lazily, one :class:`GenerationResult` chunk
+        at a time, with peak memory bounded by the chunk size.
+
+        Each chunk runs ``sample_latents -> decode -> flows`` for at most
+        ``chunk`` flows (default: 4x ``generation_batch``) and is yielded
+        before the next begins, so a million-flow run never materialises
+        more than one chunk of intermediates.
+
+        With ``state_repair=False`` and ``chunk`` a multiple of
+        ``generation_batch``, the concatenated stream is bitwise-identical
+        to one :meth:`generate_raw` call under the same rng: the sampler
+        sees the same sequence of batch shapes, so it consumes the RNG
+        stream identically.  ``state_repair=True`` draws client ports per
+        chunk rather than once up front, which changes the port assignment
+        (but not its distribution) relative to the batch path.
+        """
+        self._require_fitted()
+        if class_name not in self.class_masks:
+            raise KeyError(f"unknown class {class_name!r}")
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        rng = rng or self._rng
+        if chunk is None:
+            chunk = 4 * self.config.generation_batch
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        remaining = n
+        while remaining > 0:
+            m = min(chunk, remaining)
+            latents = self.sample_latents(
+                class_name, m, steps=steps, use_control=use_control,
+                guidance_weight=guidance_weight, rng=rng, dtype=dtype,
+            )
+            perf.incr("pipeline.stream_chunks")
+            yield self._finalize_latents(
+                latents, class_name, hard_guidance=hard_guidance,
+                state_repair=state_repair, rng=rng,
+            )
+            remaining -= m
 
     def generate(
         self,
@@ -511,6 +634,7 @@ class TextToTrafficPipeline:
         self._require_fitted()
         if not flows:
             raise ValueError("need flows for the new class")
+        self._invalidate_cast_cache()
         cfg = self.config
         prompt = self.codebook.add_class(class_name)
         for token in prompt.split():

@@ -106,25 +106,84 @@ def _align_options(row: np.ndarray, fs) -> None:
             break
 
 
+def _align_options_rows(rows: np.ndarray, fs) -> None:
+    """Row-batched :func:`_align_options`: same per-row output, no loop.
+
+    A word is kept when >= 50% of its bits are present; the first failing
+    word vacates itself and everything after it in the span (the scalar
+    version's ``break``), which is a prefix-AND along the word axis.
+    """
+    span = rows[:, fs.start : fs.stop]
+    n_words = span.shape[1] // 32
+    if n_words == 0:
+        return
+    head = span[:, : n_words * 32]
+    present = (head != VACANT).reshape(len(rows), n_words, 32)
+    keep = np.logical_and.accumulate(present.mean(axis=2) >= 0.5, axis=1)
+    keep_bits = np.repeat(keep, 32, axis=1)
+    head[keep_bits & (head == VACANT)] = 0
+    head[~keep_bits] = VACANT
+    tail = span[:, n_words * 32 :]
+    if tail.shape[1]:
+        tail[~keep[:, -1]] = VACANT
+
+
+def _repair_rows(rows: np.ndarray) -> None:
+    """Vectorised :func:`repair_row_structure` over packet rows, in place."""
+    ipv4 = REGION_SLICES["ipv4"]
+    fixed = rows[:, ipv4.start : ipv4.start + _IPV4_FIXED_BITS]
+    fixed[fixed == VACANT] = 0
+    _align_options_rows(rows, FIELDS["ipv4.options"])
+
+    # Same iteration order as the scalar dict, so occupancy ties break
+    # identically (argmax and max() both pick the first maximum).
+    names = [n for n in REGION_SLICES if n != "ipv4"]
+    occupancy = np.stack([
+        (rows[:, REGION_SLICES[n].start : REGION_SLICES[n].stop] != VACANT)
+        .mean(axis=1)
+        for n in names
+    ])
+    winner = np.argmax(occupancy, axis=0)
+    for idx, name in enumerate(names):
+        fs = REGION_SLICES[name]
+        rows[winner != idx, fs.start : fs.stop] = VACANT
+        won = winner == idx
+        if not won.any():
+            continue
+        sub = rows[won]
+        if name == "tcp":
+            tcp_fixed = sub[:, fs.start : fs.start + _TCP_FIXED_BITS]
+            tcp_fixed[tcp_fixed == VACANT] = 0
+            _align_options_rows(sub, FIELDS["tcp.options"])
+        else:
+            segment = sub[:, fs.start : fs.stop]
+            segment[segment == VACANT] = 0
+        rows[won] = sub
+
+
 def repair_matrix(matrix: np.ndarray) -> np.ndarray:
-    """Structure-repair every packet row; padding rows stay vacant."""
+    """Structure-repair every packet row; padding rows stay vacant.
+
+    Row-batched implementation of :func:`repair_row_structure` (one pass
+    of array ops over the whole matrix instead of per-row Python), pinned
+    to the scalar function's output by the test suite.
+    """
     matrix = np.asarray(matrix, dtype=np.int8)
     if matrix.ndim != 2 or matrix.shape[1] != NPRINT_BITS:
         raise ValueError(f"expected (P, {NPRINT_BITS}), got {matrix.shape}")
     out = matrix.copy()
     ipv4 = REGION_SLICES["ipv4"]
-    for i in range(out.shape[0]):
-        row = out[i]
-        # A packet row always carries the fixed 20-byte IPv4 header; the
-        # first row without it ends the flow (flows are contiguous, so
-        # later stray rows are padding too).
-        fixed_occupancy = float(
-            np.mean(row[ipv4.start : ipv4.start + _IPV4_FIXED_BITS] != VACANT)
-        )
-        if fixed_occupancy < 0.5:
-            out[i:] = VACANT
-            break
-        out[i] = repair_row_structure(row)
+    # A packet row always carries the fixed 20-byte IPv4 header; the
+    # first row without it ends the flow (flows are contiguous, so later
+    # stray rows are padding too).
+    fixed_occupancy = (
+        out[:, ipv4.start : ipv4.start + _IPV4_FIXED_BITS] != VACANT
+    ).mean(axis=1)
+    bad = fixed_occupancy < 0.5
+    cut = int(np.argmax(bad)) if bad.any() else out.shape[0]
+    out[cut:] = VACANT
+    if cut:
+        _repair_rows(out[:cut])
     return out
 
 

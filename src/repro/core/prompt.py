@@ -166,5 +166,8 @@ class PromptEncoder(Module):
         perf.incr("prompt_encoder.forward")
         embedded = self.embedding(batch)  # (B, W, dim)
         weights = mask / np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
-        # Mean over real (non-pad) tokens.
-        return (embedded * Tensor(weights[:, :, None])).sum(axis=1)
+        # Mean over real (non-pad) tokens; the weights follow the table
+        # dtype (identity cast on the float64 path) so float32 inference
+        # does not promote back to float64.
+        weights = weights[:, :, None].astype(embedded.data.dtype, copy=False)
+        return (embedded * Tensor(weights)).sum(axis=1)

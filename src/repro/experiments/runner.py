@@ -29,6 +29,8 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import shutil
 import tempfile
 import time
@@ -36,6 +38,11 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
 from repro import perf
+from repro.experiments.artifacts import (
+    ArtifactRef,
+    load_stage_result,
+    save_stage_result,
+)
 from repro.experiments import (
     ablations,
     data,
@@ -108,25 +115,32 @@ class Stage:
     ``deps`` are stage names that must finish first (skipped deps count
     as satisfied).  ``needs_pipeline`` marks stages that consume the
     shared fitted base pipeline; the parallel scheduler warms the
-    pipeline cache once before fanning those out.
+    pipeline cache once before fanning those out.  ``est_seconds`` is a
+    declared cost estimate (tiny-preset wall-clock) used to order ready
+    stages longest-first when no measured ``stage_times.json`` from a
+    previous run is available.
     """
 
     name: str
     fn: object
     deps: tuple[str, ...] = ()
     needs_pipeline: bool = False
+    est_seconds: float = 1.0
 
 
 STAGES: tuple[Stage, ...] = (
-    Stage("table1", _stage_table1),
-    Stage("table2", _stage_table2, needs_pipeline=True),
-    Stage("figure1", _stage_figure1, needs_pipeline=True),
-    Stage("figure2", _stage_figure2, needs_pipeline=True),
-    Stage("speed", _stage_speed, needs_pipeline=True),
-    Stage("replay", _stage_replay, needs_pipeline=True),
-    Stage("ablations", _stage_ablations, needs_pipeline=True),
-    Stage("extensions", _stage_extensions, needs_pipeline=True),
-    Stage("fidelity", _stage_fidelity, needs_pipeline=True),
+    Stage("table1", _stage_table1, est_seconds=0.5),
+    Stage("table2", _stage_table2, needs_pipeline=True, est_seconds=11.0),
+    Stage("figure1", _stage_figure1, needs_pipeline=True, est_seconds=4.7),
+    Stage("figure2", _stage_figure2, needs_pipeline=True, est_seconds=0.1),
+    Stage("speed", _stage_speed, needs_pipeline=True, est_seconds=0.5),
+    Stage("replay", _stage_replay, needs_pipeline=True, est_seconds=1.2),
+    Stage("ablations", _stage_ablations, needs_pipeline=True,
+          est_seconds=25.0),
+    Stage("extensions", _stage_extensions, needs_pipeline=True,
+          est_seconds=69.0),
+    Stage("fidelity", _stage_fidelity, needs_pipeline=True,
+          est_seconds=21.0),
 )
 
 _STAGE_BY_NAME = {s.name: s for s in STAGES}
@@ -146,6 +160,7 @@ def _run_stage_worker(
     config: ExperimentConfig,
     output_dir: str | None,
     cache_dir: str | None,
+    artifact_dir: str | None = None,
 ):
     """Execute one stage in a worker process.
 
@@ -153,13 +168,57 @@ def _run_stage_worker(
     context, the shared cache directory — so the result only depends on
     ``config`` and the stage itself.  Returns the result, the stage
     wall-clock, and the worker's perf snapshot for the parent to merge.
+
+    With ``artifact_dir`` set, the result is saved there instead of being
+    shipped through the pool's result pipe, and an :class:`ArtifactRef`
+    is returned in its place — the parent reopens large arrays with
+    ``mmap_mode="r"`` rather than copying them between processes.
     """
     perf.reset()
     data.clear_contexts()
     data.set_cache_dir(cache_dir)
     start = time.perf_counter()
     result = _STAGE_BY_NAME[name].fn(config, output_dir)
-    return result, time.perf_counter() - start, perf.snapshot()
+    elapsed = time.perf_counter() - start
+    if artifact_dir is not None:
+        result = save_stage_result(result, artifact_dir)
+    return result, elapsed, perf.snapshot()
+
+
+def _stage_costs(
+    stages: list[Stage], output_dir: str | None
+) -> dict[str, float]:
+    """Per-stage cost for the scheduler: measured if available, else declared.
+
+    A previous run's ``stage_times.json`` (written next to the report by
+    :func:`run_all`) supplies measured wall-clock; stages it does not
+    cover fall back to their declared ``est_seconds``.
+    """
+    measured: dict[str, float] = {}
+    if output_dir is not None:
+        path = os.path.join(output_dir, "stage_times.json")
+        try:
+            with open(path) as f:
+                loaded = json.load(f)
+            measured = {
+                str(k): float(v)
+                for k, v in loaded.items()
+                if isinstance(v, (int, float))
+            }
+        except (OSError, ValueError):
+            measured = {}
+    return {s.name: measured.get(s.name, s.est_seconds) for s in stages}
+
+
+def _write_stage_times(
+    timings: dict[str, float], output_dir: str | None
+) -> None:
+    if output_dir is None:
+        return
+    os.makedirs(output_dir, exist_ok=True)
+    with open(os.path.join(output_dir, "stage_times.json"), "w") as f:
+        json.dump(timings, f, indent=2, sort_keys=True)
+        f.write("\n")
 
 
 def _run_sequential(
@@ -194,6 +253,11 @@ def _run_parallel(
         temp_cache = tempfile.mkdtemp(prefix="repro-pipeline-cache-")
         cache_dir = temp_cache
     data.set_cache_dir(cache_dir)
+    # Run-scoped artifact store: workers save results here and return
+    # only paths; the parent mmaps the arrays back in.  Unlinked in the
+    # finally block — established maps survive the unlink on Linux.
+    artifact_root = tempfile.mkdtemp(prefix="repro-stage-artifacts-")
+    costs = _stage_costs(stages, output_dir)
     try:
         if any(s.needs_pipeline for s in stages):
             print("\n=== prewarm (shared pipeline -> cache) ===", flush=True)
@@ -212,12 +276,17 @@ def _run_parallel(
                     s for s in remaining
                     if all(d in done for d in s.deps)
                 ]
+                # Longest-first (LPT): submit the most expensive ready
+                # stages first so the long poles overlap the short tail
+                # instead of serialising behind it.
+                ready.sort(key=lambda s: costs[s.name], reverse=True)
                 for stage in ready:
                     remaining.remove(stage)
                     print(f"\n=== {stage.name} started ===", flush=True)
                     future = pool.submit(
                         _run_stage_worker, stage.name, config, output_dir,
                         cache_dir,
+                        os.path.join(artifact_root, stage.name),
                     )
                     pending[future] = stage
                 if not pending:
@@ -229,6 +298,8 @@ def _run_parallel(
                 for future in finished.done:
                     stage = pending.pop(future)
                     result, elapsed, snap = future.result()
+                    if isinstance(result, ArtifactRef):
+                        result = load_stage_result(result)
                     results[stage.name] = result
                     timings[stage.name] = elapsed
                     perf.get_registry().merge_snapshot(snap)
@@ -236,6 +307,7 @@ def _run_parallel(
                     print(f"\n=== {stage.name} done ({elapsed:.1f}s) ===")
                     _render_result(result)
     finally:
+        shutil.rmtree(artifact_root, ignore_errors=True)
         if temp_cache is not None:
             shutil.rmtree(temp_cache, ignore_errors=True)
 
@@ -255,6 +327,11 @@ def run_all(
     (always enabled — via a temp directory — in parallel mode).
     ``timings``, when given, is filled with per-stage wall-clock seconds
     (feed it to :func:`write_markdown`).
+
+    Measured per-stage wall-clock is also written to
+    ``<output_dir>/stage_times.json``; the next parallel run reads it to
+    schedule ready stages longest-first from real costs instead of the
+    declared estimates.
     """
     results: dict[str, object] = {}
     timings = timings if timings is not None else {}
@@ -276,6 +353,7 @@ def run_all(
             }
     finally:
         data.set_cache_dir(previous_cache_dir)
+    _write_stage_times(timings, output_dir)
     return results
 
 

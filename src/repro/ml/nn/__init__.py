@@ -19,6 +19,7 @@ from repro.ml.nn.modules import (
     SiLU,
     Tanh,
     ZeroLinear,
+    cast_module,
     mlp,
 )
 from repro.ml.nn.ema import ExponentialMovingAverage
@@ -39,6 +40,7 @@ __all__ = [
     "ReLU",
     "LeakyReLU",
     "Tanh",
+    "cast_module",
     "mlp",
     "Optimizer",
     "SGD",

@@ -40,6 +40,11 @@ class Tensor:
     Only float arrays participate in gradients.  Construct leaves with
     ``Tensor(data, requires_grad=True)``; intermediate tensors are created
     by the operators below.
+
+    Arrays are stored as float64 except float32 input, which is kept as-is:
+    the float32 inference tier (:func:`repro.ml.nn.modules.cast_module`)
+    runs whole forward passes in single precision, while training and any
+    integer/float64 input keep the original float64 behaviour bit-for-bit.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
@@ -52,7 +57,10 @@ class Tensor:
         _backward: Callable[[Array], None] | None = None,
         _parents: Sequence["Tensor"] = (),
     ):
-        self.data = np.asarray(data, dtype=np.float64)
+        array = np.asarray(data)
+        if array.dtype != np.float32:
+            array = np.asarray(array, dtype=np.float64)
+        self.data = array
         self.grad: Array | None = None
         self.requires_grad = requires_grad
         self._backward = _backward
@@ -113,8 +121,16 @@ class Tensor:
 
     # -- operator helpers ----------------------------------------------------
     @staticmethod
-    def _lift(other) -> "Tensor":
-        return other if isinstance(other, Tensor) else Tensor(other)
+    def _lift(other, dtype=None) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        # Scalars are lifted at the operand's dtype: a 0-d float64 array
+        # would silently promote a float32 operand back to float64 under
+        # NEP 50 (the float64 path is unchanged — scalars became float64
+        # before too).
+        if dtype is not None and np.ndim(other) == 0:
+            return Tensor(np.asarray(other, dtype=dtype))
+        return Tensor(other)
 
     def _make(self, data: Array, parents: Sequence["Tensor"],
               backward: Callable[[Array], None]) -> "Tensor":
@@ -125,7 +141,7 @@ class Tensor:
 
     # -- arithmetic ----------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data + other.data
 
         def backward(grad: Array) -> None:
@@ -143,13 +159,13 @@ class Tensor:
         return self._make(-self.data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-self._lift(other))
+        return self + (-self._lift(other, self.data.dtype))
 
     def __rsub__(self, other) -> "Tensor":
-        return self._lift(other) + (-self)
+        return self._lift(other, self.data.dtype) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data * other.data
 
         def backward(grad: Array) -> None:
@@ -161,7 +177,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data / other.data
 
         def backward(grad: Array) -> None:
@@ -173,7 +189,7 @@ class Tensor:
         return self._make(out_data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return self._lift(other) / self
+        return self._lift(other, self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):

@@ -15,8 +15,11 @@ from __future__ import annotations
 
 import struct
 from pathlib import Path
-from typing import BinaryIO, Iterable, Iterator
+from typing import BinaryIO, Iterable, Iterator, Sequence
 
+import numpy as np
+
+from repro import perf
 from repro.net.packet import Packet, parse_packet
 
 PCAP_MAGIC = 0xA1B2C3D4
@@ -63,6 +66,64 @@ class PcapWriter:
         captured = data[: self.snaplen]
         self._f.write(_RECORD_HEADER.pack(sec, usec, len(captured), len(data)))
         self._f.write(captured)
+
+    def write_many(
+        self,
+        datas: Sequence[bytes],
+        timestamps: np.ndarray,
+    ) -> int:
+        """Append many pre-rendered packets in one buffered write.
+
+        ``datas`` are wire bytes (e.g. from
+        :class:`repro.net.packet.PacketRenderer`), ``timestamps`` seconds
+        as a float array of the same length.  All record headers for the
+        chunk are packed into one preallocated ``(n, 4)`` uint32 buffer
+        (vectorised second/microsecond split with the same round-half-even
+        and carry semantics as :meth:`write_raw`), then interleaved with
+        the payload bytes in a single ``join`` — one ``write`` call per
+        chunk instead of two per packet.  Output bytes are identical to a
+        :meth:`write_raw` loop (pinned by the test suite).
+
+        Returns the number of records written.
+        """
+        ts = np.asarray(timestamps, dtype=np.float64)
+        n = len(datas)
+        if ts.shape != (n,):
+            raise PcapError(
+                f"got {n} packets but {ts.shape} timestamps"
+            )
+        if n == 0:
+            return 0
+        if float(ts.min()) < 0:
+            raise PcapError("pcap timestamps cannot be negative")
+        sec = ts.astype(np.int64)  # truncation == int(t) for t >= 0
+        # np.rint rounds half to even, matching round() in write_raw.
+        usec = np.rint((ts - sec) * 1_000_000).astype(np.int64)
+        carry = usec == 1_000_000  # rounding carried into the next second
+        if carry.any():
+            sec[carry] += 1
+            usec[carry] = 0
+        lens = np.fromiter(
+            (len(d) for d in datas), dtype=np.int64, count=n
+        )
+        if int(sec.max()) >= 1 << 32 or int(lens.max()) >= 1 << 32:
+            raise PcapError("record field exceeds 32 bits")
+        headers = np.empty((n, 4), dtype=np.uint32)
+        headers[:, 0] = sec
+        headers[:, 1] = usec
+        headers[:, 2] = np.minimum(lens, self.snaplen)
+        headers[:, 3] = lens
+        header_bytes = headers.tobytes()  # native order, as _RECORD_HEADER
+        snaplen = self.snaplen
+        parts: list[bytes] = []
+        for i, data in enumerate(datas):
+            parts.append(header_bytes[i * 16 : i * 16 + 16])
+            parts.append(data if len(data) <= snaplen else data[:snaplen])
+        payload = b"".join(parts)
+        self._f.write(payload)
+        perf.incr("pcap.packets_written", n)
+        perf.incr("pcap.bytes_written", len(payload))
+        return n
 
     def close(self) -> None:
         self._f.close()

@@ -225,6 +225,139 @@ class DecodedFlow:
     skipped_rows: int = 0
 
 
+# Fields the row-batched decoder extracts for every packet at once.
+_BATCH_FIELDS = (
+    "ipv4.dscp", "ipv4.ecn", "ipv4.total_length", "ipv4.identification",
+    "ipv4.flags", "ipv4.fragment_offset", "ipv4.ttl", "ipv4.proto",
+    "ipv4.src_ip", "ipv4.dst_ip",
+    "tcp.src_port", "tcp.dst_port", "tcp.seq", "tcp.ack", "tcp.flags",
+    "tcp.window", "tcp.urgent_pointer",
+    "udp.src_port", "udp.dst_port",
+    "icmp.type", "icmp.code", "icmp.rest",
+)
+
+_POW2 = (1 << np.arange(31, -1, -1)).astype(np.int64)
+
+# Transport regions in the same order as infer_transport's candidate
+# dict, so occupancy ties resolve identically (first maximum wins).
+_TRANSPORT_REGIONS = (
+    (int(IPProto.TCP), REGION_SLICES["tcp"]),
+    (int(IPProto.UDP), REGION_SLICES["udp"]),
+    (int(IPProto.ICMP), REGION_SLICES["icmp"]),
+)
+
+
+def _read_fields_batch(rows: np.ndarray) -> dict[str, np.ndarray]:
+    """All :data:`_BATCH_FIELDS` values for every row via one bit matrix.
+
+    Equivalent to calling :func:`_read_field` per row and field
+    (``vacant_as_zero`` semantics: only +1 bits contribute), but the
+    big-endian weighting is a single matmul per field.
+    """
+    bits = (rows == 1).astype(np.int64)
+    values = {}
+    for name in _BATCH_FIELDS:
+        fs = FIELDS[name]
+        values[name] = bits[:, fs.start : fs.stop] @ _POW2[-fs.width :]
+    return values
+
+
+def _decode_rows(rows: np.ndarray, timestamps: list[float]) -> list[Packet]:
+    """Row-batched non-strict :func:`decode_packet` over live rows."""
+    vals = _read_fields_batch(rows)
+    present = rows != VACANT
+    occ = np.stack([
+        present[:, fs.start : fs.stop].mean(axis=1)
+        for _, fs in _TRANSPORT_REGIONS
+    ])
+    vote = np.argmax(occ, axis=0)
+    voted_proto = np.array([p for p, _ in _TRANSPORT_REGIONS])[vote]
+    no_vote = occ[vote, np.arange(len(rows))] < 0.25
+    declared = vals["ipv4.proto"]
+    fallback = np.where(
+        np.isin(declared, (1, 6, 17)), declared, int(IPProto.TCP)
+    )
+    protos = np.where(no_vote, fallback, voted_proto)
+
+    ip_opt_bytes = _option_lengths(present, FIELDS["ipv4.options"])
+    tcp_opt_bytes = _option_lengths(present, FIELDS["tcp.options"])
+
+    packets = []
+    for i in range(len(rows)):
+        proto = int(protos[i])
+        if proto == IPProto.TCP:
+            opts = (
+                _bits_to_bytes(
+                    rows[i], FIELDS["tcp.options"].start, tcp_opt_bytes[i]
+                )
+                if tcp_opt_bytes[i]
+                else b""
+            )
+            transport = TCPHeader(
+                src_port=int(vals["tcp.src_port"][i]),
+                dst_port=int(vals["tcp.dst_port"][i]),
+                seq=int(vals["tcp.seq"][i]),
+                ack=int(vals["tcp.ack"][i]),
+                reserved=0,
+                flags=int(vals["tcp.flags"][i]),
+                window=int(vals["tcp.window"][i]),
+                urgent_pointer=int(vals["tcp.urgent_pointer"][i]),
+                options=opts,
+            )
+            transport_len = transport.header_length
+        elif proto == IPProto.UDP:
+            transport = UDPHeader(
+                src_port=int(vals["udp.src_port"][i]),
+                dst_port=int(vals["udp.dst_port"][i]),
+            )
+            transport_len = 8
+        elif proto == IPProto.ICMP:
+            transport = ICMPHeader(
+                icmp_type=int(vals["icmp.type"][i]),
+                code=int(vals["icmp.code"][i]),
+                rest=int(vals["icmp.rest"][i]),
+            )
+            transport_len = 8
+        else:
+            transport, transport_len = None, 0
+        ip_opts = (
+            _bits_to_bytes(
+                rows[i], FIELDS["ipv4.options"].start, ip_opt_bytes[i]
+            )
+            if ip_opt_bytes[i]
+            else b""
+        )
+        ip = IPv4Header(
+            version=4,
+            dscp=int(vals["ipv4.dscp"][i]),
+            ecn=int(vals["ipv4.ecn"][i]),
+            identification=int(vals["ipv4.identification"][i]),
+            flags=int(vals["ipv4.flags"][i]),
+            fragment_offset=int(vals["ipv4.fragment_offset"][i]),
+            ttl=int(vals["ipv4.ttl"][i]),
+            proto=proto,
+            src_ip=int(vals["ipv4.src_ip"][i]),
+            dst_ip=int(vals["ipv4.dst_ip"][i]),
+            options=ip_opts,
+        )
+        header_len = ip.header_length + transport_len
+        payload_len = max(0, int(vals["ipv4.total_length"][i]) - header_len)
+        payload_len = min(payload_len, 65535 - header_len)
+        packets.append(Packet(
+            ip=ip,
+            transport=transport,
+            payload=b"\x00" * payload_len,
+            timestamp=timestamps[i],
+        ))
+    return packets
+
+
+def _option_lengths(present: np.ndarray, fs: FieldSlice) -> np.ndarray:
+    """Per-row :func:`_option_length` (word-aligned present byte count)."""
+    counts = present[:, fs.start : fs.stop].sum(axis=1)
+    return (counts // 8 // 4) * 4
+
+
 def decode_flow(
     matrix: np.ndarray,
     gaps: np.ndarray | None = None,
@@ -244,19 +377,22 @@ def decode_flow(
         raise ValueError(f"expected (P, {NPRINT_BITS}) matrix, got {matrix.shape}")
     flow = Flow(label=label)
     result = DecodedFlow(flow=flow)
+    vacant = (matrix == VACANT).all(axis=1)
+    count = int(np.argmax(vacant)) if vacant.any() else matrix.shape[0]
+    clocks: list[float] = []
     clock = start_time
-    for i, row in enumerate(matrix):
-        if is_vacant_row(row):
-            break
+    for i in range(count):
         gap = float(gaps[i]) if gaps is not None and i < len(gaps) else 0.001
         if i > 0:
             clock += max(0.0, gap)
-        try:
-            pkt = decode_packet(row, timestamp=clock, strict=strict)
-        except NprintDecodeError:
-            if strict:
-                raise
-            result.skipped_rows += 1
-            continue
-        flow.packets.append(pkt)
+        clocks.append(clock)
+    if not strict:
+        # Non-strict decoding never raises (vacant bits read as zero), so
+        # the whole flow goes through the row-batched fast path.
+        flow.packets.extend(_decode_rows(matrix[:count], clocks))
+        return result
+    for i in range(count):
+        flow.packets.append(
+            decode_packet(matrix[i], timestamp=clocks[i], strict=True)
+        )
     return result
