@@ -1,0 +1,44 @@
+"""Pin BLAS/OpenMP thread pools so benchmark numbers are reproducible.
+
+Every ``benchmarks/*_smoke.py`` script imports this module and calls
+:func:`pin_blas_threads` *before* NumPy is imported anywhere in the
+process.  Two reasons:
+
+* Reproducibility: OpenBLAS/MKL pick their thread count from the machine
+  they happen to run on; BENCH_*.json numbers recorded with an ambient
+  8-thread BLAS are not comparable to a CI runner's 2-thread one.
+* Non-interference: the nn compute tier's blocked backend
+  (``REPRO_NN_BACKEND=blocked``) runs its own row-block thread pool.  If
+  BLAS also fans out internally, the two pools oversubscribe each other
+  and the measurement fights itself.  One pinned BLAS thread keeps the
+  Python-level pool the only source of parallelism.
+
+Values are set with ``os.environ.setdefault``, so an explicit
+environment override (e.g. ``OMP_NUM_THREADS=4`` on a many-core box)
+still wins.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: every thread-count knob the supported BLAS/OpenMP stacks read
+THREAD_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def pin_blas_threads(n: int = 1) -> dict[str, str]:
+    """Default every BLAS/OpenMP thread knob to ``n``; returns the result.
+
+    Must run before the first ``import numpy`` — BLAS reads these at
+    library load and ignores later changes.
+    """
+    value = str(int(n))
+    for name in THREAD_ENV_VARS:
+        os.environ.setdefault(name, value)
+    return {name: os.environ[name] for name in THREAD_ENV_VARS}

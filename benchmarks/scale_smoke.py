@@ -12,12 +12,22 @@ human) can diff flows/s and peak memory against the recorded baseline:
   bounded chunks, flows are rendered through the per-flow header cache and
   appended with ``PcapWriter.write_many``, float32 denoiser inference.
 
+``--workers N [N ...]`` adds one ``stream_w{N}`` mode per count: the
+multi-core sharded tier (``generate_stream(workers=N, seed=...)``), which
+derives each chunk's RNG from ``(seed, chunk index)`` so the emitted pcap
+is byte-identical for every worker count.  The artifact records each
+mode's pcap sha256, whether all sharded pcaps matched
+(``workers_pcap_identical``), and the flows/s speedup of the widest
+worker count over one worker (``workers_speedup``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/scale_smoke.py --preset tiny
     PYTHONPATH=src python benchmarks/scale_smoke.py --preset quick \
         --modes batch stream
     PYTHONPATH=src python benchmarks/scale_smoke.py --preset 1m --modes stream
+    PYTHONPATH=src python benchmarks/scale_smoke.py --preset tiny \
+        --modes stream --workers 1 2
 
 The artifact keeps a ``baseline`` section per preset (the pre-streaming
 batch path, written the first time a preset is benchmarked, then preserved
@@ -29,7 +39,14 @@ streaming path's bounded-memory claim is measured, not assumed.
 
 from __future__ import annotations
 
+# Pin BLAS/OpenMP thread pools before anything imports NumPy so the
+# recorded numbers are machine-independent (see bench_env docstring).
+import bench_env  # noqa: E402  (same directory as this script)
+
+bench_env.pin_blas_threads()
+
 import argparse
+import hashlib
 import json
 import os
 import sys
@@ -204,6 +221,60 @@ def _run_stream(pipeline, spec: dict, seed: int, out_path: str,
     }
 
 
+def _run_stream_sharded(pipeline, spec: dict, seed: int, out_path: str,
+                        workers: int, fp32: bool = True) -> dict:
+    """Sharded streaming tier: worker processes, per-chunk derived seeds."""
+    import numpy as np
+
+    from repro.net.packet import PacketRenderer, render_flows
+    from repro.net.pcap import PcapWriter
+
+    n = spec["n_flows"]
+    chunk = spec["chunk"]
+    dtype = np.float32 if fp32 else None
+    sampler = RssSampler()
+    sampler.start()
+    rss_start = _rss_bytes()
+    start = time.perf_counter()
+    packets = 0
+    flows_done = 0
+    renderer = PacketRenderer()
+    with PcapWriter(open(out_path, "wb")) as writer:
+        for result in pipeline.generate_stream(
+            "netflix", n, chunk=chunk, workers=workers, seed=seed,
+            dtype=dtype, yield_arrays=False,
+        ):
+            datas, stamps = render_flows(result.flows, renderer)
+            packets += writer.write_many(datas, stamps)
+            flows_done += len(result.flows)
+            if n >= 100_000 and flows_done % (chunk * 8) == 0:
+                print(f"  ... {flows_done}/{n} flows", flush=True)
+    elapsed = time.perf_counter() - start
+    peak = sampler.stop()
+    return {
+        "mode": f"stream_w{workers}",
+        "workers": workers,
+        "fp32": fp32,
+        "chunk": chunk,
+        "n_flows": n,
+        "packets": packets,
+        "seconds": round(elapsed, 3),
+        "flows_per_second": round(n / elapsed, 3),
+        "rss_start_mb": round(rss_start / 1e6, 1),
+        "peak_rss_mb": round(peak / 1e6, 1),
+        "pcap_bytes": os.path.getsize(out_path),
+        "pcap_sha256": _sha256_file(out_path),
+    }
+
+
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        for block in iter(lambda: f.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -217,6 +288,12 @@ def main(argv: list[str] | None = None) -> int:
         choices=["batch", "stream"],
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", nargs="*", type=int, default=[],
+        help="also run the sharded streaming tier once per worker count "
+             "(mode stream_wN); outputs must be byte-identical across "
+             "counts",
+    )
     parser.add_argument("--fp64-stream", action="store_true",
                         help="run the stream mode in float64 (parity/debug)")
     parser.add_argument(
@@ -235,13 +312,21 @@ def main(argv: list[str] | None = None) -> int:
     pipeline = _fit_pipeline(spec, seed=args.seed)
 
     current: dict[str, dict] = {"preset": args.preset, "modes": {}}
+    mode_plan: list[tuple[str, int | None]] = [
+        (mode, None) for mode in args.modes
+    ]
+    mode_plan.extend((f"stream_w{w}", w) for w in args.workers)
     with tempfile.TemporaryDirectory(prefix="repro-scale-") as tmp:
-        for mode in args.modes:
+        for mode, workers in mode_plan:
             out_pcap = os.path.join(tmp, f"{mode}.pcap")
             print(f"\n##### mode: {mode} "
                   f"({spec['n_flows']} flows) #####", flush=True)
             if mode == "batch":
                 section = _run_batch(pipeline, spec, args.seed, out_pcap)
+            elif workers is not None:
+                section = _run_stream_sharded(
+                    pipeline, spec, args.seed, out_pcap, workers,
+                    fp32=not args.fp64_stream)
             else:
                 section = _run_stream(pipeline, spec, args.seed, out_pcap,
                                       fp32=not args.fp64_stream)
@@ -249,6 +334,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"##### {mode}: {section['seconds']}s "
                   f"({section['flows_per_second']} flows/s, "
                   f"peak RSS {section['peak_rss_mb']} MB) #####")
+
+    sharded = {w: current["modes"][f"stream_w{w}"] for w in args.workers}
+    if sharded:
+        hashes = {s["pcap_sha256"] for s in sharded.values()}
+        current["workers_pcap_identical"] = len(hashes) == 1
+        if 1 in sharded and max(sharded) > 1:
+            widest = max(sharded)
+            current["workers_speedup"] = {
+                "workers": widest,
+                "vs_one_worker": round(
+                    sharded[widest]["flows_per_second"]
+                    / sharded[1]["flows_per_second"], 3),
+                "cpu_count": os.cpu_count(),
+            }
 
     path = Path(args.out)
     doc = {}

@@ -20,6 +20,12 @@ of current over baseline for matching (sampler, steps) rows.
 
 from __future__ import annotations
 
+# Pin BLAS/OpenMP thread pools before anything imports NumPy so the
+# recorded numbers are machine-independent (see bench_env docstring).
+import bench_env  # noqa: E402  (same directory as this script)
+
+bench_env.pin_blas_threads()
+
 import argparse
 import json
 import os

@@ -83,7 +83,17 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     pipeline = TextToTrafficPipeline(config)
     print(f"fitting on {len(flows)} flows, "
           f"{len(set(f.label for f in flows))} classes ...")
-    pipeline.fit(flows, verbose=True)
+    memmap_dir = None
+    if args.memmap_fit:
+        import shutil
+        import tempfile
+
+        memmap_dir = tempfile.mkdtemp(prefix="repro-fit-memmap-")
+    try:
+        pipeline.fit(flows, verbose=True, memmap_dir=memmap_dir)
+    finally:
+        if memmap_dir is not None:
+            shutil.rmtree(memmap_dir, ignore_errors=True)
     save_pipeline(pipeline, args.model)
     print(f"saved model to {args.model}")
     if args.perf:
@@ -119,10 +129,18 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         renderer = PacketRenderer()
         flow_count = 0
         packet_count = 0
+        # --workers switches to deterministic sharded mode: per-chunk
+        # seeds derived from --seed, worker processes, flows-only results.
+        stream_kwargs = (
+            dict(workers=args.workers, seed=args.seed, yield_arrays=False)
+            if args.workers > 0
+            else dict(rng=rng)
+        )
         with PcapWriter(open(args.out, "wb")) as writer:
             for result in pipeline.generate_stream(
                 args.class_name, args.count, chunk=chunk,
-                state_repair=args.state_repair, rng=rng, dtype=dtype,
+                state_repair=args.state_repair, dtype=dtype,
+                **stream_kwargs,
             ):
                 datas, stamps = render_flows(result.flows, renderer)
                 packet_count += writer.write_many(datas, stamps)
@@ -218,6 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-packets", type=int, default=16)
     p.add_argument("--steps", type=int, default=600)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--memmap-fit", action="store_true",
+                   help="stream training matrices through on-disk "
+                        "memmaps instead of RAM (low-memory fit tier)")
     p.add_argument("--perf", action="store_true",
                    help="print stage timers and counters afterwards")
     p.set_defaults(fn=_cmd_fit)
@@ -232,6 +253,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stream-pcap", action="store_true",
                    help="stream chunks straight to the pcap (bounded "
                         "memory, flow-major record order)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="generation worker processes for --stream-pcap; "
+                        "0 = sequential, N >= 1 = sharded mode with "
+                        "deterministic per-chunk seeds (output is "
+                        "identical for every N)")
     p.add_argument("--chunk", type=int, default=0,
                    help="flows per streamed chunk; 0 = 4x the model's "
                         "generation batch")

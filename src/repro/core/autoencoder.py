@@ -10,11 +10,31 @@ decoded back by the transpose.
 
 The Gram-matrix trick keeps fitting cheap in the common regime here
 (n_samples << n_features: hundreds of flows, ~70k bit columns).
+
+Memory-mapped training matrices: ``fit``/``encode`` accept a float32
+``np.memmap`` (the pipeline's ``memmap_dir`` fit tier writes one) and
+switch to a row-blocked path that never materialises the full ``(n, D)``
+matrix in RAM — only one ~64 MB block of centred rows at a time.  Products
+route through the pluggable GEMM backend, so the blocked/threaded backend
+accelerates the codec too.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.ml.nn import backend as _backend
+
+#: target bytes per row block on the low-memory (memmap) paths.
+_LOWMEM_BLOCK_BYTES = 64 << 20
+
+
+def _lowmem_block_rows(dim: int, itemsize: int = 4) -> int:
+    return max(1, _LOWMEM_BLOCK_BYTES // max(dim * itemsize, 1))
+
+
+def _is_lowmem_input(X) -> bool:
+    return isinstance(X, np.memmap) and X.dtype == np.float32 and X.ndim == 2
 
 
 class LatentCodec:
@@ -36,6 +56,8 @@ class LatentCodec:
 
     def fit(self, X: np.ndarray) -> "LatentCodec":
         """Fit on ``(n, D)`` training vectors; k is capped at n-1 and D."""
+        if _is_lowmem_input(X):
+            return self._fit_lowmem(X)
         # float32 throughout: the feature matrices are ternary bits plus a
         # bounded timing channel, so single precision loses nothing and
         # halves the memory of the (n, ~70k) working set.
@@ -71,12 +93,73 @@ class LatentCodec:
         self.latent_dim = k
         return self
 
+    def _fit_lowmem(self, X: np.memmap) -> "LatentCodec":
+        """Row-blocked fit over a float32 memmap; peak RAM ~ one block."""
+        n, dim = X.shape
+        if n < 2:
+            raise ValueError("need at least 2 samples to fit the codec")
+        k = min(self.latent_dim, n - 1, dim)
+        block = _lowmem_block_rows(dim)
+        # np.mean pages through the memmap with the same pairwise reduction
+        # as an in-RAM array, so the mean matches the dense path exactly.
+        self.mean_ = np.asarray(X.mean(axis=0))
+        mean = self.mean_
+        total_sq = 0.0
+        if n <= dim:
+            # Gram trick, two centred blocks at a time.  Each gram element
+            # is still a full-D float32 dot, so the eigendecomposition sees
+            # the same matrix as the dense path up to gemm tiling.
+            gram = np.empty((n, n), dtype=np.float64)
+            for i0 in range(0, n, block):
+                Xi = X[i0:i0 + block] - mean
+                total_sq += float((Xi ** 2).sum())
+                for j0 in range(i0, n, block):
+                    Xj = Xi if j0 == i0 else X[j0:j0 + block] - mean
+                    g = _backend.matmul(Xi, Xj.T).astype(np.float64)
+                    gram[i0:i0 + len(Xi), j0:j0 + len(Xj)] = g
+                    if j0 != i0:
+                        gram[j0:j0 + len(Xj), i0:i0 + len(Xi)] = g.T
+            eigvals, eigvecs = np.linalg.eigh(gram)
+            order = np.argsort(eigvals)[::-1][:k]
+            eigvals = np.maximum(eigvals[order], self.eps)
+            u = (eigvecs[:, order] / np.sqrt(eigvals)[None, :]).astype(np.float32)
+            components = np.zeros((dim, k), dtype=np.float32)
+            for i0 in range(0, n, block):
+                Xi = X[i0:i0 + block] - mean
+                components += Xi.T @ u[i0:i0 + len(Xi)]
+            singular_sq = eigvals
+        else:
+            cov = np.zeros((dim, dim), dtype=np.float64)
+            for i0 in range(0, n, block):
+                Xi = X[i0:i0 + block] - mean
+                total_sq += float((Xi ** 2).sum())
+                cov += _backend.matmul(Xi.T, Xi).astype(np.float64)
+            eigvals, eigvecs = np.linalg.eigh(cov)
+            order = np.argsort(eigvals)[::-1][:k]
+            singular_sq = np.maximum(eigvals[order], self.eps)
+            components = eigvecs[:, order].astype(np.float32)
+        self.components_ = components
+        self.scales_ = np.sqrt(singular_sq / max(n - 1, 1)) + self.eps
+        total_var = max(total_sq / max(n - 1, 1), self.eps)
+        self.explained_variance_ratio_ = (singular_sq / max(n - 1, 1)) / total_var
+        self.latent_dim = k
+        return self
+
     def encode(self, X: np.ndarray) -> np.ndarray:
         """Project to whitened latents ``(n, k)`` (unit variance on train)."""
         if not self.is_fitted:
             raise RuntimeError("encode before fit")
+        if _is_lowmem_input(X):
+            n, dim = X.shape
+            block = _lowmem_block_rows(dim)
+            out = np.empty((n, self.latent_dim), dtype=np.float64)
+            for i0 in range(0, n, block):
+                scores = _backend.matmul(X[i0:i0 + block] - self.mean_,
+                                         self.components_)
+                out[i0:i0 + len(scores)] = scores / self.scales_
+            return out
         X = np.asarray(X, dtype=np.float32)
-        scores = (X - self.mean_) @ self.components_
+        scores = _backend.matmul(X - self.mean_, self.components_)
         return (scores / self.scales_).astype(np.float64)
 
     def decode(self, Z: np.ndarray) -> np.ndarray:
@@ -85,7 +168,11 @@ class LatentCodec:
             raise RuntimeError("decode before fit")
         Z = np.asarray(Z, dtype=np.float64)
         scaled = (Z * self.scales_).astype(np.float32)
-        return self.mean_ + scaled @ self.components_.T
+        # In-place mean add on the fresh (workspace-backed) product: same
+        # values as ``mean_ + prod`` with one fewer (n, D) allocation.
+        out = _backend.matmul(scaled, self.components_.T)
+        out += self.mean_
+        return out
 
     def reconstruction_error(self, X: np.ndarray) -> float:
         """Mean squared reconstruction error on ``X``."""

@@ -53,18 +53,13 @@ class DDIMSampler:
         """
         schedule = self.diffusion.schedule
         ts = ddim_timesteps(schedule.timesteps, steps)
-        x = rng.standard_normal(shape)
-        if dtype is not None:
-            x = x.astype(dtype, copy=False)
+        # Per-step update coefficients depend only on the schedule and the
+        # strided timesteps — hoist them out of the (batched, repeated)
+        # step loop.  Python floats keep the float64 math bit-identical
+        # and, under NEP 50, do not promote a float32 trajectory.
+        coeffs: list[tuple[float, float, float]] = []
         for i, t in enumerate(ts):
-            t_vec = np.full(shape[0], t, dtype=np.int64)
-            eps = eps_model(x, t_vec)
-            x0_hat = self.diffusion.predict_x0(x, t_vec, eps)
-            if clip_x0 is not None:
-                x0_hat = np.clip(x0_hat, -clip_x0, clip_x0)
             prev_t = ts[i + 1] if i + 1 < len(ts) else -1
-            # Coefficients as Python floats: bit-identical float64 math,
-            # and under NEP 50 they do not promote a float32 trajectory.
             alpha_bar_prev = (
                 float(schedule.alpha_bars[prev_t]) if prev_t >= 0 else 1.0
             )
@@ -80,7 +75,18 @@ class DDIMSampler:
             dir_coeff = float(
                 np.sqrt(np.maximum(1 - alpha_bar_prev - sigma**2, 0.0))
             )
-            x = float(np.sqrt(alpha_bar_prev)) * x0_hat + dir_coeff * eps
+            coeffs.append((float(np.sqrt(alpha_bar_prev)), dir_coeff, sigma))
+        x = rng.standard_normal(shape)
+        if dtype is not None:
+            x = x.astype(dtype, copy=False)
+        for i, t in enumerate(ts):
+            t_vec = np.full(shape[0], t, dtype=np.int64)
+            eps = eps_model(x, t_vec)
+            x0_hat = self.diffusion.predict_x0(x, t_vec, eps)
+            if clip_x0 is not None:
+                x0_hat = np.clip(x0_hat, -clip_x0, clip_x0)
+            x0_coeff, dir_coeff, sigma = coeffs[i]
+            x = x0_coeff * x0_hat + dir_coeff * eps
             # The noise draw is unconditional to keep the RNG stream (and
             # eta=0 trajectories) identical across configurations; adding
             # sigma * noise with sigma == 0 is a bitwise no-op, so it is

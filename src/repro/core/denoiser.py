@@ -110,12 +110,21 @@ class ConditionalDenoiser(Module):
         perf.incr("denoiser.rows", len(z_t.data))
         # The embedding is computed in float64 for accuracy, then cast to
         # the latent dtype (identity for the float64 path) so a float32
-        # forward stays float32 end-to-end.
-        t_emb = Tensor(
-            sinusoidal_time_embedding(t, self.time_dim).astype(
+        # forward stays float32 end-to-end.  Samplers call with a constant
+        # timestep vector; one embedded row broadcast to n rows is
+        # bitwise-identical to embedding each row (pure elementwise math)
+        # and skips n-1 rows of sin/cos per forward.
+        t_arr = np.asarray(t)
+        if t_arr.size > 1 and np.all(t_arr == t_arr.flat[0]):
+            row = sinusoidal_time_embedding(
+                t_arr.reshape(-1)[:1], self.time_dim
+            ).astype(z_t.data.dtype, copy=False)
+            emb = np.broadcast_to(row, (t_arr.size, self.time_dim))
+        else:
+            emb = sinusoidal_time_embedding(t_arr, self.time_dim).astype(
                 z_t.data.dtype, copy=False
             )
-        )
+        t_emb = Tensor(emb)
         t_hidden = self.time_proj2(self.time_proj1(t_emb).silu())
         c_hidden = self.cond_proj(cond)
         h = self.input_proj(z_t)

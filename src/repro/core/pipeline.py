@@ -20,6 +20,9 @@ Typical use::
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -55,6 +58,60 @@ from repro.nprint.fields import NPRINT_BITS
 
 #: prompt used for the unconditional branch of classifier-free guidance
 NULL_PROMPT = "null"
+
+#: seed-sequence salt separating sharded per-chunk generation streams from
+#: every other RNG family in the repository
+_SHARD_SALT = 0x5EED5EED
+
+#: archive path -> loaded pipeline, memoised per worker process so each
+#: worker pays the fitted-pipeline load exactly once
+_WORKER_PIPELINES: dict[str, "TextToTrafficPipeline"] = {}
+
+
+def _shard_chunk_rng(seed: int, index: int) -> np.random.Generator:
+    """The deterministic RNG for chunk ``index`` of a sharded run.
+
+    Derived from (seed, salt, chunk index) only — never from which worker
+    runs the chunk or in what order — so any worker count, including the
+    in-process ``workers=1`` path, produces byte-identical output.
+    """
+    return np.random.default_rng([int(seed), _SHARD_SALT, int(index)])
+
+
+def _shard_worker_pipeline(archive: str) -> "TextToTrafficPipeline":
+    pipeline = _WORKER_PIPELINES.get(archive)
+    if pipeline is None:
+        from repro.core.serialization import load_pipeline
+
+        pipeline = _WORKER_PIPELINES[archive] = load_pipeline(archive)
+    return pipeline
+
+
+def _shard_chunk_worker(
+    archive: str,
+    out_dir: str,
+    class_name: str,
+    count: int,
+    seed: int,
+    index: int,
+    opts: dict,
+):
+    """Generate one chunk in a worker process.
+
+    The chunk result is persisted as an on-disk stage artifact (pickle +
+    ``.npy`` sidecars) instead of being shipped back through the result
+    pipe; only the perf snapshot delta for this chunk returns, which the
+    parent merges so end-to-end counters match a single-process run.
+    """
+    pipeline = _shard_worker_pipeline(archive)
+    from repro.experiments.artifacts import save_stage_result
+
+    perf.reset()
+    result = pipeline._generate_chunk(
+        class_name, count, _shard_chunk_rng(seed, index), opts
+    )
+    save_stage_result(result, out_dir)
+    return perf.snapshot()
 
 
 @dataclass
@@ -96,12 +153,18 @@ class PipelineConfig:
 
 @dataclass
 class GenerationResult:
-    """Raw generation artefacts before/after the pcap back-transform."""
+    """Raw generation artefacts before/after the pcap back-transform.
+
+    The array fields are ``None`` when a streaming caller asked for flows
+    only (``yield_arrays=False``) — sharded workers then skip shipping the
+    large intermediates across the process boundary.
+    """
 
     flows: list[Flow]
-    matrices: np.ndarray  # ternary-quantised, structure-repaired is in flows
-    continuous: np.ndarray
-    gaps: np.ndarray
+    # ternary-quantised, structure-repaired is in flows
+    matrices: np.ndarray | None
+    continuous: np.ndarray | None
+    gaps: np.ndarray | None
     label: str
 
 
@@ -152,11 +215,26 @@ class TextToTrafficPipeline:
         return matrices, gap_channels
 
     # -- training ----------------------------------------------------------------
-    def fit(self, flows: list[Flow], verbose: bool = False) -> "TextToTrafficPipeline":
+    def fit(
+        self,
+        flows: list[Flow],
+        verbose: bool = False,
+        memmap_dir: str | None = None,
+    ) -> "TextToTrafficPipeline":
         """Fine-tune the base model, then the ControlNet branch.
 
         ``flows`` must carry labels; the prompt codebook is built from the
         distinct labels in sorted order ("type-0 traffic" etc.).
+
+        ``memmap_dir`` switches on the memory-mapped fit tier: training
+        matrices are encoded chunk-by-chunk straight into ``.npy``-backed
+        memmaps under that directory and the codec fits blockwise, so the
+        full ``(n, max_packets*1088 + max_packets)`` float matrix is never
+        materialised in RAM.  Class templates stay bitwise-identical to
+        the in-RAM path; codec components (and therefore latents/weights)
+        agree to float32 gemm-accumulation tolerance.  The training loop
+        itself is memmap-agnostic — batch gathers (``latents[idx]``,
+        ``masks[idx]``) copy just the batch rows out of the mapping.
         """
         if not flows:
             raise ValueError("cannot fit on an empty flow list")
@@ -171,17 +249,27 @@ class TextToTrafficPipeline:
                 self.vocab.add(token)
 
         cfg = self.config
-        with perf.timer("pipeline.fit.encode"):
-            matrices = encode_flows(flows, cfg.max_packets)
-            gap_channels = gaps_to_channel(
-                interarrival_channels(flows, cfg.max_packets)
-            )
-            vectors = self._vectorize(matrices, gap_channels)
-        with perf.timer("pipeline.fit.codec"):
-            self.codec.fit(vectors)
-            latents = self.codec.encode(vectors)
-
-        self._store_class_templates(matrices, labels)
+        memmap_masks = None
+        if memmap_dir is None:
+            with perf.timer("pipeline.fit.encode"):
+                matrices = encode_flows(flows, cfg.max_packets)
+                gap_channels = gaps_to_channel(
+                    interarrival_channels(flows, cfg.max_packets)
+                )
+                vectors = self._vectorize(matrices, gap_channels)
+            with perf.timer("pipeline.fit.codec"):
+                self.codec.fit(vectors)
+                latents = self.codec.encode(vectors)
+            self._store_class_templates(matrices, labels)
+        else:
+            with perf.timer("pipeline.fit.encode"):
+                vectors, memmap_masks, heights = (
+                    self._encode_training_memmap(flows, memmap_dir)
+                )
+            with perf.timer("pipeline.fit.codec"):
+                self.codec.fit(vectors)
+                latents = self.codec.encode(vectors)
+            self._store_class_templates_lowmem(memmap_masks, heights, labels)
 
         self.prompt_encoder = PromptEncoder(self.vocab, cfg.cond_dim,
                                             rng=self._rng)
@@ -199,12 +287,76 @@ class TextToTrafficPipeline:
 
         self.controlnet = ControlNetBranch(cfg.hidden, cfg.blocks,
                                            rng=self._rng)
-        masks = np.stack([structure_mask(m) for m in matrices])
+        masks = (
+            memmap_masks
+            if memmap_masks is not None
+            else np.stack([structure_mask(m) for m in matrices])
+        )
         with perf.timer("pipeline.fit.train_controlnet"):
             self.controlnet_history = self._train_controlnet(
                 latents, prompts, masks, verbose
             )
         return self
+
+    def _encode_training_memmap(
+        self, flows: list[Flow], memmap_dir: str
+    ) -> tuple[np.memmap, np.memmap, np.ndarray]:
+        """Encode training flows chunkwise into ``.npy``-backed memmaps.
+
+        Returns ``(vectors, masks, heights)``: the float32 ``(n, D)``
+        training matrix and float64 ``(n, NPRINT_BITS)`` structure masks
+        as writable memmaps under ``memmap_dir``, plus the in-RAM per-flow
+        packet counts.  Each chunk's rows are bitwise what the full-batch
+        encoder would produce (the encoders are per-flow deterministic),
+        so only peak memory changes, not values.
+        """
+        cfg = self.config
+        n = len(flows)
+        p = cfg.max_packets
+        dim = p * NPRINT_BITS + p
+        os.makedirs(memmap_dir, exist_ok=True)
+        from repro.experiments.artifacts import create_memmap
+
+        vectors = create_memmap(
+            os.path.join(memmap_dir, "train_vectors.npy"), (n, dim), np.float32
+        )
+        masks = create_memmap(
+            os.path.join(memmap_dir, "train_masks.npy"),
+            (n, NPRINT_BITS),
+            np.float64,
+        )
+        heights = np.empty(n, dtype=np.float64)
+        step = 256
+        for start in range(0, n, step):
+            batch = flows[start:start + step]
+            stop = start + len(batch)
+            m = encode_flows(batch, p)
+            gaps = gaps_to_channel(interarrival_channels(batch, p))
+            vectors[start:stop] = self._vectorize(m, gaps)
+            masks[start:stop] = np.stack([structure_mask(x) for x in m])
+            heights[start:stop] = [
+                float((~np.all(x == -1, axis=1)).sum()) for x in m
+            ]
+        vectors.flush()
+        masks.flush()
+        return vectors, masks, heights
+
+    def _store_class_templates_lowmem(
+        self, masks: np.ndarray, heights: np.ndarray, labels: list[str]
+    ) -> None:
+        """Class templates from precomputed per-flow masks/heights.
+
+        Same reductions over the same rows as
+        :meth:`_store_class_templates`, so the resulting templates are
+        bitwise-identical to the in-RAM fit path.
+        """
+        labels_arr = np.asarray(labels)
+        for name in self.codebook.classes:
+            sel = labels_arr == name
+            if not sel.any():
+                continue
+            self.class_masks[name] = np.asarray(masks[sel]).mean(axis=0)
+            self.class_heights[name] = float(np.mean(heights[sel]))
 
     def _store_class_templates(
         self, matrices: np.ndarray, labels: list[str]
@@ -539,6 +691,31 @@ class TextToTrafficPipeline:
             label=class_name,
         )
 
+    def _generate_chunk(
+        self,
+        class_name: str,
+        count: int,
+        rng: np.random.Generator,
+        opts: dict,
+    ) -> GenerationResult:
+        """One stream chunk: sample -> decode -> flows (shared with workers)."""
+        latents = self.sample_latents(
+            class_name, count, steps=opts["steps"],
+            use_control=opts["use_control"],
+            guidance_weight=opts["guidance_weight"], rng=rng,
+            dtype=opts["dtype"],
+        )
+        result = self._finalize_latents(
+            latents, class_name, hard_guidance=opts["hard_guidance"],
+            state_repair=opts["state_repair"], rng=rng,
+        )
+        if not opts["yield_arrays"]:
+            result = GenerationResult(
+                flows=result.flows, matrices=None, continuous=None,
+                gaps=None, label=result.label,
+            )
+        return result
+
     def generate_stream(
         self,
         class_name: str,
@@ -551,6 +728,10 @@ class TextToTrafficPipeline:
         state_repair: bool = False,
         rng: np.random.Generator | None = None,
         dtype=None,
+        workers: int | None = None,
+        seed: int | None = None,
+        shard_dir: str | None = None,
+        yield_arrays: bool = True,
     ):
         """Generate ``n`` flows lazily, one :class:`GenerationResult` chunk
         at a time, with peak memory bounded by the chunk size.
@@ -560,24 +741,70 @@ class TextToTrafficPipeline:
         before the next begins, so a million-flow run never materialises
         more than one chunk of intermediates.
 
-        With ``state_repair=False`` and ``chunk`` a multiple of
-        ``generation_batch``, the concatenated stream is bitwise-identical
-        to one :meth:`generate_raw` call under the same rng: the sampler
-        sees the same sequence of batch shapes, so it consumes the RNG
-        stream identically.  ``state_repair=True`` draws client ports per
-        chunk rather than once up front, which changes the port assignment
-        (but not its distribution) relative to the batch path.
+        **Sequential mode** (``workers=None``, the default): one shared
+        ``rng`` drives every chunk in order.  With ``state_repair=False``
+        and ``chunk`` a multiple of ``generation_batch``, the concatenated
+        stream is bitwise-identical to one :meth:`generate_raw` call under
+        the same rng — including when ``n % chunk != 0``: the short tail
+        chunk splits into the same trailing batch shapes the batch path
+        uses, so the RNG stream is consumed identically.  A ``chunk`` that
+        is *not* a multiple of ``generation_batch`` changes the sequence
+        of sampler batch shapes and therefore yields different (equally
+        deterministic and valid) flows than the batch path.
+        ``state_repair=True`` draws client ports per chunk rather than
+        once up front, which changes the port assignment (but not its
+        distribution) relative to the batch path.
+
+        **Sharded mode** (``workers=N``): chunk ``i`` is generated from
+        the deterministic RNG ``default_rng([seed, salt, i])``, so output
+        depends only on ``(seed, chunk, n)`` — never on the worker count —
+        and ``workers=1`` (run in-process) is byte-identical to
+        ``workers=2+`` (fanned out to worker processes).  Workers load
+        their fitted-pipeline copies from a content-addressed archive
+        (``shard_dir``, defaulting to ``REPRO_CACHE_DIR`` or a run-scoped
+        temp dir), persist chunk results as on-disk artifacts, and return
+        `repro.perf` snapshots that are merged into this process, so
+        counters match a single-process run.  Chunks are yielded strictly
+        in index order.  ``seed`` defaults to ``config.seed``; passing an
+        explicit ``rng`` is an error in sharded mode (a shared generator
+        cannot be split deterministically across processes).
+        ``yield_arrays=False`` drops the large array intermediates from
+        each result (flows only) — worth it in sharded mode, where the
+        arrays would otherwise be written to and read back from disk.
         """
         self._require_fitted()
         if class_name not in self.class_masks:
             raise KeyError(f"unknown class {class_name!r}")
         if n < 1:
             raise ValueError("n must be >= 1")
-        rng = rng or self._rng
         if chunk is None:
             chunk = 4 * self.config.generation_batch
         if chunk < 1:
             raise ValueError("chunk must be >= 1")
+        opts = {
+            "steps": steps,
+            "use_control": use_control,
+            "hard_guidance": hard_guidance,
+            "guidance_weight": guidance_weight,
+            "state_repair": state_repair,
+            "dtype": dtype,
+            "yield_arrays": yield_arrays,
+        }
+        if workers is not None:
+            if workers < 1:
+                raise ValueError("workers must be >= 1")
+            if rng is not None:
+                raise ValueError(
+                    "sharded generation derives per-chunk seeds; "
+                    "pass seed=..., not rng=..."
+                )
+            yield from self._generate_stream_sharded(
+                class_name, n, chunk, workers,
+                self.config.seed if seed is None else seed,
+                shard_dir, opts,
+            )
+            return
+        rng = rng or self._rng
         remaining = n
         while remaining > 0:
             m = min(chunk, remaining)
@@ -586,11 +813,101 @@ class TextToTrafficPipeline:
                 guidance_weight=guidance_weight, rng=rng, dtype=dtype,
             )
             perf.incr("pipeline.stream_chunks")
-            yield self._finalize_latents(
+            result = self._finalize_latents(
                 latents, class_name, hard_guidance=hard_guidance,
                 state_repair=state_repair, rng=rng,
             )
+            if not yield_arrays:
+                result = GenerationResult(
+                    flows=result.flows, matrices=None, continuous=None,
+                    gaps=None, label=result.label,
+                )
+            yield result
             remaining -= m
+
+    def _ensure_shard_archive(
+        self, shard_dir: str | None
+    ) -> tuple[str, str | None]:
+        """(archive path, temp dir to clean up or None) for sharded mode."""
+        from repro.core.serialization import ensure_pipeline_archive
+
+        created = None
+        if shard_dir is None:
+            shard_dir = os.environ.get("REPRO_CACHE_DIR")
+        if shard_dir is None:
+            shard_dir = created = tempfile.mkdtemp(prefix="repro-shard-")
+        try:
+            archive = ensure_pipeline_archive(self, shard_dir)
+        except BaseException:
+            if created is not None:
+                shutil.rmtree(created, ignore_errors=True)
+            raise
+        return str(archive), created
+
+    def _generate_stream_sharded(
+        self,
+        class_name: str,
+        n: int,
+        chunk: int,
+        workers: int,
+        seed: int,
+        shard_dir: str | None,
+        opts: dict,
+    ):
+        counts = [min(chunk, n - start) for start in range(0, n, chunk)]
+        if workers == 1:
+            # In-process reference: same per-chunk RNG scheme, no pool.
+            for index, count in enumerate(counts):
+                result = self._generate_chunk(
+                    class_name, count, _shard_chunk_rng(seed, index), opts
+                )
+                perf.incr("pipeline.stream_chunks")
+                perf.incr("pipeline.shard_chunks")
+                yield result
+            return
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.experiments.artifacts import load_stage_result
+
+        archive, tmp_shard_dir = self._ensure_shard_archive(shard_dir)
+        artifact_root = tempfile.mkdtemp(prefix="repro-shard-chunks-")
+        executor = ProcessPoolExecutor(max_workers=workers)
+        futures: dict[int, object] = {}
+        # Bounded submission window: enough chunks in flight to keep every
+        # worker busy, few enough that completed-but-unconsumed results
+        # never pile up on disk faster than the consumer drains them.
+        window = workers + 2
+
+        def _submit(index: int) -> None:
+            futures[index] = executor.submit(
+                _shard_chunk_worker, archive,
+                os.path.join(artifact_root, f"chunk-{index:06d}"),
+                class_name, counts[index], seed, index, opts,
+            )
+
+        try:
+            for index in range(min(window, len(counts))):
+                _submit(index)
+            for index in range(len(counts)):
+                snapshot = futures.pop(index).result()
+                if index + window < len(counts):
+                    _submit(index + window)
+                perf.merge_snapshot(snapshot)
+                perf.incr("pipeline.stream_chunks")
+                perf.incr("pipeline.shard_chunks")
+                chunk_dir = os.path.join(
+                    artifact_root, f"chunk-{index:06d}"
+                )
+                # Plain in-RAM load (not mmap) so the chunk dir can be
+                # reclaimed as soon as the result is yielded.
+                result = load_stage_result(chunk_dir, mmap_mode=None)
+                shutil.rmtree(chunk_dir, ignore_errors=True)
+                yield result
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+            shutil.rmtree(artifact_root, ignore_errors=True)
+            if tmp_shard_dir is not None:
+                shutil.rmtree(tmp_shard_dir, ignore_errors=True)
 
     def generate(
         self,

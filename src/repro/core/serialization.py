@@ -52,8 +52,8 @@ def _contains_lora(module) -> bool:
     return False
 
 
-def save_pipeline(pipeline: TextToTrafficPipeline, path: str | Path) -> None:
-    """Serialise a fitted pipeline to ``path`` (npz, compressed)."""
+def _pipeline_arrays(pipeline: TextToTrafficPipeline) -> dict[str, np.ndarray]:
+    """The complete array bundle a pipeline archive is built from."""
     if pipeline.denoiser is None or pipeline.codebook is None:
         raise ValueError("cannot save an unfitted pipeline")
     if _contains_lora(pipeline.denoiser):
@@ -83,7 +83,57 @@ def save_pipeline(pipeline: TextToTrafficPipeline, path: str | Path) -> None:
         arrays.update(_module_state("controlnet", pipeline.controlnet))
     for name, mask in pipeline.class_masks.items():
         arrays[f"mask.{name}"] = mask
-    np.savez_compressed(path, **arrays)
+    return arrays
+
+
+def save_pipeline(pipeline: TextToTrafficPipeline, path: str | Path) -> None:
+    """Serialise a fitted pipeline to ``path`` (npz, compressed)."""
+    np.savez_compressed(path, **_pipeline_arrays(pipeline))
+
+
+def pipeline_state_digest(pipeline: TextToTrafficPipeline) -> str:
+    """Content digest of a fitted pipeline's full state (config + weights).
+
+    Two pipelines with identical configs, vocabularies and parameters get
+    the same digest — the address for the sharded-generation archive.
+    """
+    arrays = _pipeline_arrays(pipeline)
+    h = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(repr((arr.shape, str(arr.dtype))).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()[:32]
+
+
+def ensure_pipeline_archive(
+    pipeline: TextToTrafficPipeline, cache_dir: str | Path
+) -> Path:
+    """Write (or reuse) the content-addressed archive for ``pipeline``.
+
+    The archive lives at ``<cache_dir>/pipeline-shard-<digest>.npz`` —
+    generation worker processes load their fitted-pipeline copies from it.
+    Writes are atomic (temp file + ``os.replace``) and idempotent: a
+    pipeline whose archive already exists costs one digest pass and no IO.
+    """
+    cache_dir = Path(cache_dir)
+    path = cache_dir / f"pipeline-shard-{pipeline_state_digest(pipeline)}.npz"
+    if path.exists():
+        perf.incr("pipeline.shard_archive_hit")
+        return path
+    perf.incr("pipeline.shard_archive_write")
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            save_pipeline(pipeline, f)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
 
 
 def load_pipeline(path: str | Path) -> TextToTrafficPipeline:

@@ -390,6 +390,16 @@ def write_markdown(results: dict[str, object], path: str,
         f.write("\n".join(lines))
 
 
+def _parse_jobs(value: str) -> int:
+    """``--jobs`` argument: a positive int, or ``auto`` for the core count."""
+    if value.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("--jobs must be >= 1 or 'auto'")
+    return jobs
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--preset", default="quick",
@@ -400,9 +410,9 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--output-dir", default="experiment_outputs")
     parser.add_argument("--markdown", default=None,
                         help="also write the report to this markdown file")
-    parser.add_argument("--jobs", type=int, default=1,
+    parser.add_argument("--jobs", type=_parse_jobs, default=1,
                         help="worker processes for independent stages "
-                        "(1 = sequential)")
+                        "(1 = sequential, 'auto' = one per CPU core)")
     parser.add_argument("--cache-dir", default=None,
                         help="on-disk fitted-pipeline cache directory "
                         "(persists fits across runs; parallel runs use a "

@@ -7,6 +7,13 @@ test suite.
 """
 
 from repro.ml.nn.autograd import Tensor, concat, embedding_lookup, where
+from repro.ml.nn.backend import (
+    BlockedBackend,
+    NaiveBackend,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.ml.nn.functional import bce_with_logits, mse_loss, softmax_cross_entropy
 from repro.ml.nn.modules import (
     Embedding,
@@ -30,6 +37,11 @@ __all__ = [
     "concat",
     "embedding_lookup",
     "where",
+    "NaiveBackend",
+    "BlockedBackend",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "Module",
     "Linear",
     "ZeroLinear",

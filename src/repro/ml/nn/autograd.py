@@ -17,6 +17,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from . import backend as _backend
+
 Array = np.ndarray
 
 
@@ -202,8 +204,11 @@ class Tensor:
         return self._make(out_data, (self,), backward)
 
     def __matmul__(self, other) -> "Tensor":
+        # Products route through the pluggable GEMM backend
+        # (repro.ml.nn.backend); the default NaiveBackend is exactly
+        # ``a @ b`` so training stays bitwise-pinned.
         other = self._lift(other)
-        out_data = self.data @ other.data
+        out_data = _backend.matmul(self.data, other.data)
 
         def backward(grad: Array) -> None:
             a, b = self.data, other.data
@@ -211,8 +216,16 @@ class Tensor:
                 self._accumulate(grad * b)
                 other._accumulate(grad * a)
                 return
-            ga = grad @ np.swapaxes(b, -1, -2) if b.ndim > 1 else np.outer(grad, b)
-            gb = np.swapaxes(a, -1, -2) @ grad if a.ndim > 1 else np.outer(a, grad)
+            ga = (
+                _backend.matmul(grad, np.swapaxes(b, -1, -2))
+                if b.ndim > 1
+                else np.outer(grad, b)
+            )
+            gb = (
+                _backend.matmul(np.swapaxes(a, -1, -2), grad)
+                if a.ndim > 1
+                else np.outer(a, grad)
+            )
             self._accumulate(_unbroadcast(ga, a.shape))
             other._accumulate(_unbroadcast(gb, b.shape))
 

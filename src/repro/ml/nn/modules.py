@@ -12,6 +12,7 @@ import copy
 
 import numpy as np
 
+from repro.ml.nn import backend as _backend
 from repro.ml.nn.autograd import Tensor, embedding_lookup
 
 
@@ -106,6 +107,21 @@ class Linear(Module):
         self.out_features = out_features
 
     def forward(self, x: Tensor) -> Tensor:
+        if (
+            x.data.ndim == 2
+            and not x.requires_grad
+            and not x._parents
+            and not self.weight.requires_grad
+            and (self.bias is None or not self.bias.requires_grad)
+        ):
+            # Inference fast path (cast_module clones): the backend product
+            # lands in a reusable workspace and the bias is added in place
+            # on that fresh buffer — same math, two fewer allocations per
+            # layer, no tape bookkeeping.
+            out = _backend.matmul(x.data, self.weight.data)
+            if self.bias is not None:
+                out += self.bias.data
+            return Tensor(out)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias

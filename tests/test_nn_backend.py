@@ -1,0 +1,234 @@
+"""Pluggable GEMM backends: blocked-vs-naive parity, fallbacks,
+workspace reuse, selection plumbing, and model-level parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.core.denoiser import ConditionalDenoiser
+from repro.ml.nn import (
+    BlockedBackend,
+    NaiveBackend,
+    Tensor,
+    cast_module,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.ml.nn.backend import matmul as backend_matmul
+from repro.ml.nn.modules import Linear
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    """Every test starts and ends on the default (env-resolved) backend."""
+    set_backend(None)
+    yield
+    set_backend(None)
+
+
+def _blocked(threads: int = 4, min_rows: int = 32) -> BlockedBackend:
+    # Force several blocks even on small matrices so the threaded path
+    # (not the single-block shortcut) is what gets tested.
+    return BlockedBackend(threads=threads, min_rows=min_rows)
+
+
+PARITY_SHAPES = [
+    (512, 96, 256),   # even split across threads
+    (1000, 48, 96),   # uneven split
+    (130, 16, 8),     # runt tail merged into its neighbour
+    (37, 64, 64),     # single block (rows < threads * MIN_BLOCK_ROWS)
+]
+
+
+class TestBlockedParity:
+    @pytest.mark.parametrize("shape", PARITY_SHAPES)
+    def test_fp64_bitwise(self, shape):
+        n, k, m = shape
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((n, k))
+        b = rng.standard_normal((k, m))
+        got = _blocked().matmul(a, b)
+        assert np.array_equal(got, NaiveBackend().matmul(a, b))
+
+    def test_fp64_bitwise_transposed_operands(self):
+        """The backward-pass patterns: ``g @ W.T`` and ``x.T @ g``."""
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((300, 48))
+        w = rng.standard_normal((48, 96))
+        g = rng.standard_normal((300, 96))
+        backend = _blocked()
+        assert np.array_equal(backend.matmul(g, w.T), g @ w.T)
+        assert np.array_equal(backend.matmul(x.T, g), x.T @ g)
+
+    @pytest.mark.parametrize("shape", PARITY_SHAPES)
+    def test_fp32_tolerance(self, shape):
+        n, k, m = shape
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((n, k)).astype(np.float32)
+        b = rng.standard_normal((k, m)).astype(np.float32)
+        got = _blocked().matmul(a, b)
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, a @ b, rtol=1e-6, atol=1e-6)
+
+    def test_out_parameter(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((200, 32))
+        b = rng.standard_normal((32, 16))
+        out = np.empty((200, 16))
+        got = _blocked().matmul(a, b, out=out)
+        assert got is out
+        assert np.array_equal(out, a @ b)
+
+
+class TestFallbacks:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            # 1-D vector product
+            (np.ones(8), np.ones((8, 4))),
+            # batched 3-D matmul
+            (np.ones((2, 8, 4)), np.ones((2, 4, 3))),
+            # mixed dtypes
+            (np.ones((256, 8)), np.ones((8, 4), dtype=np.float32)),
+            # non-float
+            (np.ones((256, 8), dtype=np.int64), np.ones((8, 4), dtype=np.int64)),
+            # below min_rows
+            (np.ones((8, 8)), np.ones((8, 4))),
+        ],
+    )
+    def test_fallback_matches_operator(self, a, b):
+        backend = BlockedBackend(threads=4, min_rows=128)
+        perf.reset()
+        got = backend.matmul(a, b)
+        assert np.array_equal(got, a @ b)
+        assert perf.counter("nn.backend.fallback_calls") == 1
+        assert perf.counter("nn.backend.blocked_calls") == 0
+
+
+class TestWorkspacePool:
+    def test_buffer_reused_after_release(self):
+        backend = _blocked()
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((256, 16))
+        b = rng.standard_normal((16, 8))
+        perf.reset()
+        first = backend.matmul(a, b)
+        expected = first.copy()
+        del first  # release the only caller reference
+        second = backend.matmul(a, b)
+        assert perf.counter("nn.backend.workspace_hits") == 1
+        assert np.array_equal(second, expected)
+
+    def test_live_result_never_recycled(self):
+        backend = _blocked()
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((256, 16))
+        b = rng.standard_normal((16, 8))
+        first = backend.matmul(a, b)
+        snapshot = first.copy()
+        second = backend.matmul(2.0 * a, b)
+        assert second is not first
+        assert np.array_equal(first, snapshot)
+
+    def test_view_keeps_buffer_alive(self):
+        backend = _blocked()
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal((256, 16))
+        b = rng.standard_normal((16, 8))
+        view = backend.matmul(a, b)[:4]
+        snapshot = view.copy()
+        backend.matmul(2.0 * a, b)
+        assert np.array_equal(view, snapshot)
+
+
+class TestSelection:
+    def test_default_is_naive(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NN_BACKEND", raising=False)
+        set_backend(None)
+        assert isinstance(get_backend(), NaiveBackend)
+
+    def test_env_selects_blocked(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_BACKEND", "blocked")
+        set_backend(None)
+        assert isinstance(get_backend(), BlockedBackend)
+
+    def test_env_thread_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NN_THREADS", "3")
+        assert BlockedBackend().threads == 3
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown nn backend"):
+            set_backend("turbo")
+
+    def test_use_backend_restores(self):
+        before = get_backend()
+        with use_backend("blocked") as active:
+            assert isinstance(active, BlockedBackend)
+            assert get_backend() is active
+        assert get_backend() is before
+
+    def test_module_matmul_routes_through_active(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((256, 16))
+        b = rng.standard_normal((16, 8))
+        with use_backend(_blocked()):
+            perf.reset()
+            got = backend_matmul(a, b)
+            assert perf.counter("nn.backend.blocked_calls") == 1
+        assert np.array_equal(got, a @ b)
+
+
+class TestModelParity:
+    def test_linear_fused_path_matches_tape_path(self):
+        rng = np.random.default_rng(8)
+        layer = Linear(24, 12, rng=rng)
+        x = rng.standard_normal((200, 24))
+        tape_out = layer.forward(Tensor(x)).data.copy()
+        frozen = cast_module(layer, np.float64)  # requires_grad=False clones
+        fused_out = frozen.forward(Tensor(x)).data
+        assert np.array_equal(fused_out, tape_out)
+
+    def test_linear_fused_path_under_blocked(self):
+        rng = np.random.default_rng(9)
+        layer = cast_module(Linear(24, 12, rng=rng), np.float64)
+        x = rng.standard_normal((200, 24))
+        naive_out = layer.forward(Tensor(x)).data.copy()
+        with use_backend(_blocked()):
+            blocked_out = layer.forward(Tensor(x)).data
+        assert np.array_equal(blocked_out, naive_out)
+
+    def test_autograd_matmul_grads_under_blocked(self):
+        rng = np.random.default_rng(10)
+        xd = rng.standard_normal((160, 12))
+        wd = rng.standard_normal((12, 6))
+
+        def run():
+            x = Tensor(xd.copy(), requires_grad=True)
+            w = Tensor(wd.copy(), requires_grad=True)
+            out = x @ w
+            out.backward(np.ones_like(out.data))
+            return out.data.copy(), x.grad.copy(), w.grad.copy()
+
+        naive = run()
+        with use_backend(_blocked()):
+            blocked = run()
+        for got, want in zip(blocked, naive):
+            assert np.array_equal(got, want)
+
+    def test_denoiser_forward_parity_under_blocked(self):
+        rng = np.random.default_rng(11)
+        model = ConditionalDenoiser(
+            latent_dim=16, hidden=32, blocks=2, cond_dim=12, time_dim=12,
+            rng=rng,
+        )
+        n = 160
+        z = Tensor(rng.standard_normal((n, 16)))
+        t = np.full(n, 7)
+        cond = Tensor(rng.standard_normal((n, 12)))
+        naive_out = model.forward(z, t, cond).data.copy()
+        with use_backend(_blocked()):
+            blocked_out = model.forward(z, t, cond).data
+        assert np.array_equal(blocked_out, naive_out)
