@@ -18,6 +18,7 @@ flow, since pcap itself carries no labels).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -116,6 +117,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
               f"{pipeline.codebook.classes}", file=sys.stderr)
         return 1
     dtype = np.float32 if args.fp32 else None
+    if args.infer:
+        from repro.core import infer as infer_mod
+
+        # Set both the process-wide mode and the environment so sharded
+        # worker processes (fork or spawn) inherit the engine choice.
+        os.environ["REPRO_INFER"] = args.infer
+        infer_mod.set_infer_mode(args.infer)
     rng = np.random.default_rng(args.seed)
     if args.stream_pcap:
         # Streaming tier: sample -> decode -> render -> append, one chunk
@@ -264,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fp32", action="store_true",
                    help="run the denoiser stack in float32 (fast "
                         "inference tier)")
+    p.add_argument("--infer", choices=["eager", "compiled"], default=None,
+                   help="inference engine: 'compiled' runs the no-tape "
+                        "compiled denoiser plan (float64 output is "
+                        "bitwise-identical to eager); default from "
+                        "REPRO_INFER or 'eager'")
     p.add_argument("--perf", action="store_true",
                    help="print stage timers and counters afterwards")
     p.set_defaults(fn=_cmd_generate)

@@ -15,6 +15,13 @@ from repro.core.controlnet import (
 from repro.core.ddim import DDIMSampler, ddim_timesteps
 from repro.core.ddpm import GaussianDiffusion
 from repro.core.denoiser import ConditionalDenoiser, sinusoidal_time_embedding
+from repro.core.infer import (
+    CompiledDenoiser,
+    compile_denoiser,
+    infer_mode,
+    set_infer_mode,
+    use_infer_mode,
+)
 from repro.core.lora import LoRALinear, inject_lora, lora_parameters, merge_lora
 from repro.core.pipeline import (
     NULL_PROMPT,
@@ -47,6 +54,11 @@ __all__ = [
     "ddim_timesteps",
     "ConditionalDenoiser",
     "sinusoidal_time_embedding",
+    "CompiledDenoiser",
+    "compile_denoiser",
+    "infer_mode",
+    "set_infer_mode",
+    "use_infer_mode",
     "LatentCodec",
     "ControlNetBranch",
     "structure_mask",

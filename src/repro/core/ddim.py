@@ -79,8 +79,11 @@ class DDIMSampler:
         x = rng.standard_normal(shape)
         if dtype is not None:
             x = x.astype(dtype, copy=False)
+        # One reusable timestep vector, refilled per step — eps models
+        # read it synchronously and never retain it.
+        t_vec = np.empty(shape[0], dtype=np.int64)
         for i, t in enumerate(ts):
-            t_vec = np.full(shape[0], t, dtype=np.int64)
+            t_vec.fill(t)
             eps = eps_model(x, t_vec)
             x0_hat = self.diffusion.predict_x0(x, t_vec, eps)
             if clip_x0 is not None:

@@ -46,6 +46,16 @@ class GaussianDiffusion:
     ) -> np.ndarray:
         """Invert the forward process: estimate x0 from (x_t, eps)."""
         t = np.asarray(t, dtype=np.int64)
+        if t.ndim == 0 or (t.size > 0 and bool(np.all(t == t.flat[0]))):
+            # Constant-t fast path (every sampler batch): Python-float
+            # coefficients skip the gather/reshape/astype allocations.
+            # Scalar elementwise ops equal the broadcast (n, 1) ops
+            # bitwise, and NEP-50 weak scalars match the gathered
+            # ``astype(x_t.dtype)`` values at either precision.
+            t0 = int(t.flat[0]) if t.ndim else int(t)
+            sqrt_ab = float(self.schedule.sqrt_alpha_bars[t0])
+            sqrt_1mab = float(self.schedule.sqrt_one_minus_alpha_bars[t0])
+            return (x_t - sqrt_1mab * eps) / sqrt_ab
         # Schedule gathers follow x_t's dtype (identity for float64) so
         # float32 sampling does not promote back to float64 every step.
         sqrt_ab = self.schedule.sqrt_alpha_bars[t].reshape(

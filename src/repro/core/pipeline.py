@@ -33,6 +33,7 @@ from repro.core.controlnet import (
     apply_structure_guidance,
     structure_mask,
 )
+from repro.core import infer as _infer
 from repro.core.ddim import DDIMSampler
 from repro.core.ddpm import GaussianDiffusion
 from repro.core.denoiser import ConditionalDenoiser
@@ -190,6 +191,9 @@ class TextToTrafficPipeline:
         # dtype str -> (prompt_encoder, denoiser, controlnet) inference
         # clones; see _inference_modules.
         self._cast_cache: dict[str, tuple] = {}
+        # dtype str -> CompiledDenoiser (or None when the module tree is
+        # not compilable, e.g. live LoRA adapters); see _infer_engine.
+        self._infer_engines: dict[str, object] = {}
 
     # -- representation -------------------------------------------------------
     def _flow_vector(self, flow: Flow) -> tuple[np.ndarray, np.ndarray]:
@@ -483,6 +487,9 @@ class TextToTrafficPipeline:
         cache = getattr(self, "_cast_cache", None)
         if cache:
             cache.clear()
+        engines = getattr(self, "_infer_engines", None)
+        if engines:
+            engines.clear()
 
     def _inference_modules(self, dtype):
         """(prompt_encoder, denoiser, controlnet) at inference precision.
@@ -513,6 +520,78 @@ class TextToTrafficPipeline:
             cache[key] = clones
         return clones
 
+    def _infer_engine(self, dtype):
+        """The cached :class:`~repro.core.infer.CompiledDenoiser`, or None.
+
+        Built once per dtype from the same modules the eager path uses
+        and invalidated alongside the cast cache whenever the weights
+        change (fit / add_class).  ``None`` is cached when the module
+        tree is not compilable — live LoRA adapters before
+        ``merge_lora`` — so the eager fallback is decided once, not per
+        batch.
+        """
+        engines = getattr(self, "_infer_engines", None)
+        if engines is None:
+            engines = self._infer_engines = {}
+        key = np.dtype(dtype or np.float64).str
+        if key not in engines:
+            _, denoiser, _ = self._inference_modules(dtype)
+            try:
+                with perf.timer("pipeline.compile_denoiser"):
+                    engines[key] = _infer.compile_denoiser(
+                        denoiser,
+                        batch=self.config.generation_batch,
+                        dtype=dtype,
+                    )
+            except _infer.CompileError:
+                perf.incr("infer.fallback_eager")
+                engines[key] = None
+        return engines[key]
+
+    def _compiled_eps_model(
+        self,
+        prompt: str,
+        n: int,
+        mask: np.ndarray | None,
+        guidance_weight: float,
+        dtype=None,
+    ):
+        """Compiled-engine eps closure, or None to fall back to eager.
+
+        Closures are cached on the engine per (prompt, rows, weight,
+        masked) — the projected class conditioning, ControlNet
+        injections and per-step time embeddings survive across batches,
+        chunks and the lifetime of a sharded worker process, so a
+        streaming run pays the conditioning hoist exactly once.
+        """
+        engine = self._infer_engine(dtype)
+        if engine is None:
+            return None
+        key = (prompt, int(n), float(guidance_weight), mask is not None)
+        cached = engine.eps_cache.get(key)
+        if cached is not None:
+            perf.incr("infer.eps_cache_hit")
+            return cached
+        prompt_encoder, _, controlnet = self._inference_modules(dtype)
+        with perf.timer("pipeline.hoist_conditioning"):
+            cond_full = prompt_encoder([prompt] * n).data
+            null_full = (
+                prompt_encoder([NULL_PROMPT] * n).data
+                if guidance_weight > 0 else None
+            )
+            controls_full = None
+            if mask is not None and controlnet is not None:
+                mask_batch = np.ascontiguousarray(
+                    np.broadcast_to(mask, (n, mask.shape[0]))
+                )
+                if dtype is not None:
+                    mask_batch = mask_batch.astype(dtype, copy=False)
+                controls_full = controlnet.forward_data(mask_batch)
+        return engine.eps_model(
+            cond_full, null_full, guidance_weight,
+            controls=controls_full, key=key,
+        )
+
     def _eps_model(
         self,
         prompt: str,
@@ -531,7 +610,18 @@ class TextToTrafficPipeline:
         injections, reproducing ``controls=None``) — one denoiser call per
         step instead of two, and zero prompt/ControlNet re-encodes inside
         the step loop.
+
+        Under ``REPRO_INFER=compiled`` the closure instead comes from the
+        no-tape compiled plan (:mod:`repro.core.infer`) — bitwise-equal
+        at float64, conditioning cached across chunks — with a silent
+        eager fallback when the module tree is not compilable.
         """
+        if _infer.infer_mode() == "compiled":
+            compiled = self._compiled_eps_model(
+                prompt, n, mask, guidance_weight, dtype=dtype
+            )
+            if compiled is not None:
+                return compiled
         prompt_encoder, denoiser, controlnet = self._inference_modules(dtype)
         with perf.timer("pipeline.hoist_conditioning"):
             cond_full = prompt_encoder([prompt] * n).data
