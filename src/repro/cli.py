@@ -9,6 +9,7 @@ Subcommands::
     python -m repro.cli render   --in synthetic.pcap --out flow.png
     python -m repro.cli stats    --in synthetic.pcap
     python -m repro.cli replay   --in synthetic.pcap
+    python -m repro.cli serve    --model model.npz --port 8080
 
 ``dataset`` writes labelled flows from the workload generator (labels are
 stored in a sidecar ``.labels`` file, one ``start_time label`` line per
@@ -228,6 +229,83 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if report.compliance == 1.0 else 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve.http import TrafficServer
+    from repro.serve.service import GenerationService
+    from repro.serve.store import ModelStore
+
+    if args.infer:
+        from repro.core import infer as infer_mod
+
+        os.environ["REPRO_INFER"] = args.infer
+        infer_mod.set_infer_mode(args.infer)
+
+    store = None
+    default_model = None
+    pipeline = None
+    if args.store_dir:
+        store = ModelStore(args.store_dir, capacity=args.store_capacity)
+        if args.model:
+            from repro.core.serialization import import_pipeline_archive
+
+            path = import_pipeline_archive(args.model, args.store_dir)
+            default_model = path.stem[len("pipeline-shard-"):]
+            print(f"model {args.model} -> store digest {default_model}")
+    elif args.model:
+        from repro.core.serialization import load_pipeline
+
+        pipeline = load_pipeline(args.model)
+    else:
+        print("need --model and/or --store-dir", file=sys.stderr)
+        return 1
+
+    service = GenerationService(
+        pipeline=pipeline,
+        store=store,
+        default_model=default_model,
+        server_seed=args.server_seed,
+        max_batch_flows=args.max_batch,
+        max_wait=args.max_wait_ms / 1e3,
+        max_queue=args.max_queue,
+        default_timeout=args.timeout,
+        dtype=np.float32 if args.fp32 else None,
+    )
+    server = TrafficServer((args.host, args.port), service, store=store)
+
+    draining = {"flag": False}
+
+    def _drain(signum, frame):
+        if draining["flag"]:
+            return
+        draining["flag"] = True
+        print("\ndraining (serving queued requests, refusing new) ...",
+              flush=True)
+        service.begin_drain()
+        # Stop the accept loop from another thread: shutdown() blocks
+        # until serve_forever exits, which a signal handler must not do
+        # inline on the serving process's main thread.
+        import threading
+
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}  "
+          f"(seed {service.server_seed}, max batch "
+          f"{service.max_batch_flows} flows, queue {args.max_queue})")
+    try:
+        server.serve_forever()
+    finally:
+        service.shutdown(drain=True)
+        server.server_close()
+    print("drained; bye")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -295,6 +373,37 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("replay", help="replay a capture through stateful NFs")
     p.add_argument("--in", dest="infile", required=True)
     p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived generation service (batched, deterministic)")
+    p.add_argument("--model", default=None,
+                   help="pipeline archive to serve (see 'fit')")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--server-seed", type=int, default=0,
+                   help="base seed; a request's flows depend only on "
+                        "(server seed, request id)")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="max flows coalesced into one denoiser batch")
+    p.add_argument("--max-wait-ms", type=float, default=20.0,
+                   help="max time the first request in a batch waits "
+                        "for company")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="bounded queue depth; overflow answers 429")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-request queue deadline (seconds)")
+    p.add_argument("--fp32", action="store_true",
+                   help="serve the float32 inference tier")
+    p.add_argument("--infer", choices=["eager", "compiled"], default=None,
+                   help="inference engine (default from REPRO_INFER)")
+    p.add_argument("--store-dir", default=None,
+                   help="content-addressed model store directory; "
+                        "requests may pick models by digest")
+    p.add_argument("--store-capacity", type=int, default=2,
+                   help="models kept resident (LRU) when serving from "
+                        "a store")
+    p.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -306,6 +306,26 @@ class CompiledDenoiser:
         self.eps_cache: dict[tuple, "EpsClosure"] = {}
         perf.incr("infer.compile")
 
+    #: cache bounds for long-lived processes (the serving tier sees a
+    #: new (rows, prompt) key per distinct batch composition); oldest
+    #: entries are evicted first.  A batch-export run never hits these.
+    max_eps_cache = 128
+    max_t_cache = 4096
+
+    def trim_caches(self, max_eps: int = 0, max_t: int = 0) -> None:
+        """Shrink the conditioning caches to the given sizes (0 = clear).
+
+        Cheap housekeeping for a serving process between load spikes;
+        entries are rebuilt on demand with identical contents, so
+        trimming never changes outputs.
+        """
+        while len(self.eps_cache) > max(max_eps, 0):
+            self.eps_cache.pop(next(iter(self.eps_cache)))
+            perf.incr("infer.eps_cache_evict")
+        while len(self._t_hidden) > max(max_t, 0):
+            self._t_hidden.pop(next(iter(self._t_hidden)))
+            perf.incr("infer.t_cache_evict")
+
     # -- conditioning caches ----------------------------------------------
 
     def t_hidden(self, timestep: int, rows: int) -> np.ndarray:
@@ -333,6 +353,9 @@ class CompiledDenoiser:
         if self.time_proj2.b is not None:
             th = th + self.time_proj2.b
         self._t_hidden[key] = th
+        if len(self._t_hidden) > self.max_t_cache:
+            self._t_hidden.pop(next(iter(self._t_hidden)))
+            perf.incr("infer.t_cache_evict")
         return th
 
     def cond_hidden(self, cond: np.ndarray) -> np.ndarray:
@@ -487,6 +510,9 @@ class CompiledDenoiser:
 
         if key is not None:
             self.eps_cache[key] = eps
+            if len(self.eps_cache) > self.max_eps_cache:
+                self.eps_cache.pop(next(iter(self.eps_cache)))
+                perf.incr("infer.eps_cache_evict")
         return eps
 
 

@@ -79,6 +79,38 @@ def _shard_chunk_rng(seed: int, index: int) -> np.random.Generator:
     return np.random.default_rng([int(seed), _SHARD_SALT, int(index)])
 
 
+class _SegmentedRNG:
+    """Concatenates independent per-segment generator draws into one batch.
+
+    The serving tier coalesces several requests into a single sampler
+    batch, but each request must keep its *own* RNG stream so its rows
+    are bitwise what a solo run would produce.  This shim quacks like the
+    one generator :class:`~repro.core.ddim.DDIMSampler` expects: every
+    ``standard_normal`` draw over the batch axis is assembled from one
+    draw per segment, in segment order, so segment ``i`` consumes exactly
+    the stream it would consume alone.
+    """
+
+    def __init__(self, rngs, counts):
+        self._rngs = list(rngs)
+        self._counts = [int(c) for c in counts]
+        self._total = sum(self._counts)
+
+    def standard_normal(self, shape) -> np.ndarray:
+        shape = tuple(shape)
+        if not shape or shape[0] != self._total:
+            raise ValueError(
+                f"segmented draw expects a leading axis of {self._total}, "
+                f"got shape {shape}"
+            )
+        tail = shape[1:]
+        return np.concatenate(
+            [rng.standard_normal((count, *tail))
+             for rng, count in zip(self._rngs, self._counts)],
+            axis=0,
+        )
+
+
 def _shard_worker_pipeline(archive: str) -> "TextToTrafficPipeline":
     pipeline = _WORKER_PIPELINES.get(archive)
     if pipeline is None:
@@ -998,6 +1030,73 @@ class TextToTrafficPipeline:
             shutil.rmtree(artifact_root, ignore_errors=True)
             if tmp_shard_dir is not None:
                 shutil.rmtree(tmp_shard_dir, ignore_errors=True)
+
+    def generate_coalesced(
+        self,
+        class_name: str,
+        parts: list[tuple[int, np.random.Generator]],
+        steps: int | None = None,
+        use_control: bool = True,
+        hard_guidance: bool = True,
+        guidance_weight: float | None = None,
+        state_repair: bool = False,
+        dtype=None,
+    ) -> list[GenerationResult]:
+        """Sample several requests' flows in ONE fused DDIM run.
+
+        ``parts`` is one ``(count, rng)`` pair per request.  All parts
+        share a single sampler batch — one denoiser forward per DDIM step
+        for the whole group instead of one per request — but every part
+        draws its initial latents and per-step noise from its *own*
+        generator (:class:`_SegmentedRNG`), and the post-sampling decode /
+        guidance / state-repair runs per part with that part's rng.
+
+        Determinism contract (pinned by ``tests/test_serve.py``): each
+        part's flows are byte-identical to a solo
+        ``generate_raw(class_name, count, rng=rng)`` call with the same
+        options, for ``count <= generation_batch`` — whatever the other
+        parts in the group are, and in whatever order they appear.  This
+        is what lets the serving tier micro-batch concurrent requests
+        without perturbing any single request's output.
+        """
+        self._require_fitted()
+        if class_name not in self.class_masks:
+            raise KeyError(f"unknown class {class_name!r}")
+        if not parts:
+            raise ValueError("parts must be non-empty")
+        counts = [int(count) for count, _ in parts]
+        if any(count < 1 for count in counts):
+            raise ValueError("every part count must be >= 1")
+        cfg = self.config
+        steps = steps or cfg.ddim_steps
+        weight = (
+            cfg.guidance_weight if guidance_weight is None
+            else guidance_weight
+        )
+        prompt = self.codebook.prompt_for(class_name)
+        mask = self.class_masks.get(class_name) if use_control else None
+        total = sum(counts)
+        sampler = DDIMSampler(self.diffusion)
+        seg_rng = _SegmentedRNG([rng for _, rng in parts], counts)
+        with perf.timer("pipeline.sample_latents"):
+            perf.incr("pipeline.sample_batches")
+            eps = self._eps_model(prompt, total, mask, weight, dtype=dtype)
+            latents = sampler.sample(
+                eps, (total, self.codec.latent_dim), seg_rng,
+                steps=steps, dtype=dtype,
+            )
+        perf.incr("pipeline.sampled_flows", total)
+        perf.incr("pipeline.coalesced_parts", len(parts))
+        results: list[GenerationResult] = []
+        offset = 0
+        for count, rng in parts:
+            results.append(self._finalize_latents(
+                latents[offset:offset + count], class_name,
+                hard_guidance=hard_guidance, state_repair=state_repair,
+                rng=rng,
+            ))
+            offset += count
+        return results
 
     def generate(
         self,

@@ -145,6 +145,41 @@ def pipeline_state_digest(pipeline: TextToTrafficPipeline) -> str:
     return h.hexdigest()[:32]
 
 
+def shard_archive_path(cache_dir: str | Path, digest: str) -> Path:
+    """The canonical archive path for a pipeline-state ``digest``.
+
+    One naming scheme shared by the sharded-generation cache and the
+    serving tier's model store: ``pipeline-shard-<digest>.npz``.
+    """
+    return Path(cache_dir) / f"pipeline-shard-{digest}.npz"
+
+
+def import_pipeline_archive(src: str | Path, cache_dir: str | Path) -> Path:
+    """Copy a pipeline archive into ``cache_dir`` under its content address.
+
+    Loads the archive once to recompute the digest (so a renamed or
+    hand-copied file still lands at its true address), then writes it
+    atomically.  Returns the content-addressed path; idempotent.
+    """
+    src = Path(src)
+    digest = pipeline_state_digest(load_pipeline(src))
+    cache_dir = Path(cache_dir)
+    dest = shard_archive_path(cache_dir, digest)
+    if dest.exists():
+        return dest
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(src.read_bytes())
+        os.replace(tmp, dest)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return dest
+
+
 def ensure_pipeline_archive(
     pipeline: TextToTrafficPipeline, cache_dir: str | Path
 ) -> Path:
@@ -156,7 +191,7 @@ def ensure_pipeline_archive(
     pipeline whose archive already exists costs one digest pass and no IO.
     """
     cache_dir = Path(cache_dir)
-    path = cache_dir / f"pipeline-shard-{pipeline_state_digest(pipeline)}.npz"
+    path = shard_archive_path(cache_dir, pipeline_state_digest(pipeline))
     if path.exists():
         perf.incr("pipeline.shard_archive_hit")
         return path

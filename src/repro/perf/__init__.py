@@ -1,4 +1,4 @@
-"""Performance instrumentation: scoped timers, counters, perf reports.
+"""Performance instrumentation: scoped timers, counters, histograms.
 
 See :mod:`repro.perf.instrumentation` for the full API.  Typical use::
 
@@ -8,16 +8,21 @@ See :mod:`repro.perf.instrumentation` for the full API.  Typical use::
     with perf.timer("generate"):
         pipeline.generate("netflix", 100)
     print(perf.counter("denoiser.forward"))
+    perf.observe("request_latency_seconds", 0.012)
     print(perf.render())
 """
 
 from repro.perf.instrumentation import (
+    DEFAULT_BUCKETS,
+    HistogramStat,
     PerfRegistry,
     TimerStat,
     counter,
     get_registry,
+    histogram,
     incr,
     merge_snapshot,
+    observe,
     render,
     reset,
     snapshot,
@@ -26,12 +31,16 @@ from repro.perf.instrumentation import (
 )
 
 __all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramStat",
     "PerfRegistry",
     "TimerStat",
     "counter",
     "get_registry",
+    "histogram",
     "incr",
     "merge_snapshot",
+    "observe",
     "render",
     "reset",
     "snapshot",

@@ -25,10 +25,85 @@ no threads, no I/O.
 
 from __future__ import annotations
 
+import bisect
 import functools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+#: default histogram bucket upper bounds (seconds) — the classic
+#: Prometheus 1-2.5-5 latency ladder
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+@dataclass
+class HistogramStat:
+    """Cumulative-bucket histogram (Prometheus ``le`` semantics).
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets;
+    ``counts`` has one extra slot for the ``+Inf`` overflow bucket.
+    """
+
+    bounds: tuple[float, ...]
+    counts: list[int]
+    total: float = 0.0
+
+    @classmethod
+    def with_bounds(cls, bounds) -> "HistogramStat":
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        return cls(bounds=bounds, counts=[0] * (len(bounds) + 1))
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def mean(self) -> float:
+        n = self.count
+        return self.total / n if n else 0.0
+
+    def cumulative(self) -> list[int]:
+        """Running bucket totals, one per finite bound plus ``+Inf``."""
+        out: list[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q`` quantile.
+
+        A coarse estimate (bucket resolution); the overflow bucket
+        reports the largest finite bound.
+        """
+        n = self.count
+        if n == 0:
+            return 0.0
+        rank = q * n
+        for bound, running in zip(self.bounds, self.cumulative()):
+            if running >= rank:
+                return bound
+        return self.bounds[-1] if self.bounds else 0.0
+
+    def merge(self, other: "HistogramStat") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} != {other.bounds}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
 
 
 @dataclass
@@ -53,6 +128,7 @@ class PerfRegistry:
 
     counters: dict[str, int] = field(default_factory=dict)
     timers: dict[str, TimerStat] = field(default_factory=dict)
+    histograms: dict[str, HistogramStat] = field(default_factory=dict)
 
     # -- counters -----------------------------------------------------------
     def incr(self, name: str, n: int = 1) -> int:
@@ -96,11 +172,31 @@ class PerfRegistry:
 
         return decorate
 
+    # -- histograms ---------------------------------------------------------
+    def observe(
+        self, name: str, value: float, buckets=DEFAULT_BUCKETS
+    ) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        ``buckets`` (finite inclusive upper bounds) only applies when the
+        histogram is first created; later observations reuse the existing
+        bounds so merges stay well-defined.
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = HistogramStat.with_bounds(buckets)
+        hist.observe(value)
+
+    def histogram(self, name: str) -> HistogramStat | None:
+        """The histogram named ``name`` (None if never observed)."""
+        return self.histograms.get(name)
+
     # -- lifecycle / reporting ----------------------------------------------
     def reset(self) -> None:
-        """Drop every counter and timer (start of a measured workload)."""
+        """Drop every counter, timer and histogram."""
         self.counters.clear()
         self.timers.clear()
+        self.histograms.clear()
 
     def snapshot(self) -> dict:
         """A plain-dict view (JSON-serialisable) of the current state."""
@@ -109,6 +205,14 @@ class PerfRegistry:
             "timers": {
                 name: {"calls": t.calls, "seconds": t.seconds}
                 for name, t in self.timers.items()
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "total": h.total,
+                }
+                for name, h in self.histograms.items()
             },
         }
 
@@ -122,6 +226,16 @@ class PerfRegistry:
                 mine = self.timers[name] = TimerStat()
             mine.calls += stat.calls
             mine.seconds += stat.seconds
+        for name, hist in other.histograms.items():
+            mine_h = self.histograms.get(name)
+            if mine_h is None:
+                self.histograms[name] = HistogramStat(
+                    bounds=hist.bounds,
+                    counts=list(hist.counts),
+                    total=hist.total,
+                )
+            else:
+                mine_h.merge(hist)
 
     @classmethod
     def from_snapshot(cls, snapshot: dict) -> "PerfRegistry":
@@ -135,6 +249,12 @@ class PerfRegistry:
         for name, stat in snapshot.get("timers", {}).items():
             registry.timers[name] = TimerStat(
                 calls=int(stat["calls"]), seconds=float(stat["seconds"])
+            )
+        for name, h in snapshot.get("histograms", {}).items():
+            registry.histograms[name] = HistogramStat(
+                bounds=tuple(float(b) for b in h["bounds"]),
+                counts=[int(c) for c in h["counts"]],
+                total=float(h["total"]),
             )
         return registry
 
@@ -159,7 +279,19 @@ class PerfRegistry:
             lines.append(f"{'counter':<38} {'value':>8}")
             for name in sorted(self.counters):
                 lines.append(f"{name:<38} {self.counters[name]:>8}")
-        if not self.timers and not self.counters:
+        if self.histograms:
+            lines.append("")
+            lines.append(
+                f"{'histogram':<38} {'count':>8} {'mean':>10} "
+                f"{'p50':>10} {'p99':>10}"
+            )
+            for name in sorted(self.histograms):
+                h = self.histograms[name]
+                lines.append(
+                    f"{name:<38} {h.count:>8} {h.mean:>10.4f} "
+                    f"{h.quantile(0.5):>10.4f} {h.quantile(0.99):>10.4f}"
+                )
+        if not self.timers and not self.counters and not self.histograms:
             lines.append("(empty)")
         return "\n".join(lines)
 
@@ -176,6 +308,16 @@ def get_registry() -> PerfRegistry:
 def incr(name: str, n: int = 1) -> int:
     """Increment a counter in the default registry."""
     return _DEFAULT.incr(name, n)
+
+
+def observe(name: str, value: float, buckets=DEFAULT_BUCKETS) -> None:
+    """Record a histogram observation in the default registry."""
+    _DEFAULT.observe(name, value, buckets)
+
+
+def histogram(name: str) -> HistogramStat | None:
+    """Read a histogram from the default registry."""
+    return _DEFAULT.histogram(name)
 
 
 def counter(name: str) -> int:

@@ -204,6 +204,92 @@ class TestTailChunk:
         assert bytes_a != batch_file.getvalue()
 
 
+class TestServeParity:
+    """Property-based: the serving tier and the direct generation path
+    agree byte-for-byte whenever they consume the same derived stream.
+
+    Randomised (request_id, count) combinations, seeded for
+    reproducibility, are served through a live GenerationService and
+    compared against lone ``generate_raw`` calls with the same
+    ``request_rng`` stream — the serving analogue of the worker-count
+    invariance pinned above.
+    """
+
+    def _solo(self, fitted, server_seed, rid, count):
+        from repro.serve import request_rng
+
+        result = fitted.generate_raw(
+            "netflix", count, rng=request_rng(server_seed, rid)
+        )
+        out = io.BytesIO()
+        writer = PcapWriter(out)
+        datas, stamps = render_flows(result.flows, PacketRenderer())
+        writer.write_many(datas, stamps)
+        return out.getvalue()
+
+    @pytest.mark.parametrize("case_seed", [0, 1, 2])
+    def test_served_requests_match_direct_generation(self, fitted,
+                                                     case_seed):
+        from repro.serve import GenerateRequest, GenerationService
+
+        case = np.random.default_rng(case_seed)
+        server_seed = int(case.integers(0, 2**16))
+        rids = [int(r) for r in case.choice(1000, size=6, replace=False)]
+        counts = [int(c) for c in case.integers(1, 5, size=6)]
+        max_flows = int(case.choice([4, 8, 16]))
+
+        service = GenerationService(
+            pipeline=fitted, server_seed=server_seed,
+            max_batch_flows=max_flows, max_wait=0.05, autostart=False,
+        )
+        futures = {
+            rid: service.submit(GenerateRequest(
+                request_id=rid, class_name="netflix", count=count))
+            for rid, count in zip(rids, counts)
+        }
+        service.start()
+        try:
+            served = {}
+            for rid, fut in futures.items():
+                out = io.BytesIO()
+                writer = PcapWriter(out)
+                datas, stamps = render_flows(
+                    fut.result(timeout=60).flows, PacketRenderer())
+                writer.write_many(datas, stamps)
+                served[rid] = out.getvalue()
+        finally:
+            service.shutdown()
+
+        for rid, count in zip(rids, counts):
+            assert served[rid] == self._solo(
+                fitted, server_seed, rid, count
+            ), f"request {rid} (count {count}) diverged from solo path"
+
+    def test_stream_chunk_equals_served_request(self, fitted):
+        """A one-chunk generate_stream fed the request's derived RNG is
+        the same bytes a served request produces: serving is stream
+        generation with request-keyed streams."""
+        from repro.serve import GenerateRequest, GenerationService
+        from repro.serve import request_rng
+
+        streamed = _stream_pcap_bytes(
+            fitted, 6, 6, rng=request_rng(9, 123)
+        )
+        service = GenerationService(
+            pipeline=fitted, server_seed=9, max_wait=0.02
+        )
+        try:
+            result = service.generate(GenerateRequest(
+                request_id=123, class_name="netflix", count=6))
+        finally:
+            service.shutdown()
+        out = io.BytesIO()
+        writer = PcapWriter(out)
+        datas, stamps = render_flows(result.flows, PacketRenderer())
+        writer.write_many(datas, stamps)
+        assert out.getvalue() == streamed
+
+
 class TestMemmapFit:
     @pytest.fixture(scope="class")
     def pair(self, tmp_path_factory):
