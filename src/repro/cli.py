@@ -71,6 +71,14 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 
     if args.perf:
         perf.reset()
+    if args.train_mode:
+        from repro.core import train as train_mod
+
+        # Set both the process-wide mode and the environment so any
+        # forked/spawned helper inherits the engine choice (mirrors the
+        # generate command's --infer plumbing).
+        os.environ["REPRO_TRAIN"] = args.train_mode
+        train_mod.set_train_mode(args.train_mode)
     flows = _load_labelled_flows(args.infile)
     if not flows:
         print("no labelled flows found (missing .labels sidecar?)",
@@ -325,6 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memmap-fit", action="store_true",
                    help="stream training matrices through on-disk "
                         "memmaps instead of RAM (low-memory fit tier)")
+    p.add_argument("--train-mode", choices=["eager", "compiled"],
+                   default=None,
+                   help="training engine: 'compiled' runs the fused "
+                        "forward+backward+Adam plan (bitwise-identical "
+                        "fp64 losses and weights), 'eager' the autograd "
+                        "tape; default from REPRO_TRAIN or 'eager'")
     p.add_argument("--perf", action="store_true",
                    help="print stage timers and counters afterwards")
     p.set_defaults(fn=_cmd_fit)

@@ -22,6 +22,13 @@ from repro.core.infer import (
     set_infer_mode,
     use_infer_mode,
 )
+from repro.core.train import (
+    CompiledTrainer,
+    compile_training,
+    set_train_mode,
+    train_mode,
+    use_train_mode,
+)
 from repro.core.lora import LoRALinear, inject_lora, lora_parameters, merge_lora
 from repro.core.pipeline import (
     NULL_PROMPT,
@@ -59,6 +66,11 @@ __all__ = [
     "infer_mode",
     "set_infer_mode",
     "use_infer_mode",
+    "CompiledTrainer",
+    "compile_training",
+    "train_mode",
+    "set_train_mode",
+    "use_train_mode",
     "LatentCodec",
     "ControlNetBranch",
     "structure_mask",

@@ -90,11 +90,15 @@ class ControlNetBranch(Module):
         for i, proj in enumerate(self.zero_projections):
             self.register_module(f"zero{i}", proj)
 
-    def pool_mask(self, mask: np.ndarray) -> np.ndarray:
+    def pool_mask(
+        self, mask: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Average-pool a (B, 1088) mask batch to (B, in_dim).
 
         float32 input is pooled in float32 (the inference tier); anything
-        else is promoted to float64 as before.
+        else is promoted to float64 as before.  ``out=`` threads a
+        ``(B, in_dim)`` workspace (same values bitwise — ``mean`` writes
+        through it) for the compiled training engine.
         """
         mask = np.asarray(mask)
         if mask.dtype != np.float32:
@@ -104,7 +108,10 @@ class ControlNetBranch(Module):
         if mask.shape[1] != NPRINT_BITS:
             raise ValueError(f"mask width must be {NPRINT_BITS}")
         b = mask.shape[0]
-        return mask.reshape(b, self.in_dim, self.POOL).mean(axis=2)
+        pooled = mask.reshape(b, self.in_dim, self.POOL)
+        if out is None:
+            return pooled.mean(axis=2)
+        return pooled.mean(axis=2, out=out)
 
     def forward(self, mask: np.ndarray) -> list[Tensor]:
         """Per-block control injections for a batch of masks."""

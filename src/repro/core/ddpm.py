@@ -28,9 +28,20 @@ class GaussianDiffusion:
 
     # -- forward process -----------------------------------------------------
     def q_sample(
-        self, x0: np.ndarray, t: np.ndarray, noise: np.ndarray
+        self,
+        x0: np.ndarray,
+        t: np.ndarray,
+        noise: np.ndarray,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Sample ``x_t ~ q(x_t | x_0)`` in closed form."""
+        """Sample ``x_t ~ q(x_t | x_0)`` in closed form.
+
+        ``out=`` (with a same-shaped ``scratch``) writes the two products
+        and their sum through preallocated buffers — bitwise the same
+        values, no per-call allocations; the compiled training loop
+        threads its step workspaces here.
+        """
         x0 = np.asarray(x0, dtype=np.float64)
         t = np.asarray(t, dtype=np.int64)
         if (t < 0).any() or (t >= self.timesteps).any():
@@ -39,7 +50,12 @@ class GaussianDiffusion:
         sqrt_1mab = self.schedule.sqrt_one_minus_alpha_bars[t].reshape(
             -1, *([1] * (x0.ndim - 1))
         )
-        return sqrt_ab * x0 + sqrt_1mab * noise
+        if out is None:
+            return sqrt_ab * x0 + sqrt_1mab * noise
+        np.multiply(sqrt_ab, x0, out=out)
+        np.multiply(sqrt_1mab, noise, out=scratch)
+        np.add(out, scratch, out=out)
+        return out
 
     def predict_x0(
         self, x_t: np.ndarray, t: np.ndarray, eps: np.ndarray
@@ -116,11 +132,23 @@ class GaussianDiffusion:
         self,
         x0: np.ndarray,
         rng: np.random.Generator,
+        out: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Draw (x_t, t, eps) for the standard eps-prediction MSE loss."""
+        """Draw (x_t, t, eps) for the standard eps-prediction MSE loss.
+
+        ``out=`` supplies an ``(x_t, noise, scratch)`` float64 buffer
+        triple: the noise is drawn straight into its buffer (same RNG
+        stream, same values) and ``q_sample`` writes through the other
+        two, so steady-state training steps allocate nothing here.
+        """
         x0 = np.asarray(x0, dtype=np.float64)
         batch = x0.shape[0]
         t = rng.integers(0, self.timesteps, size=batch)
-        noise = rng.standard_normal(x0.shape)
-        x_t = self.q_sample(x0, t, noise)
+        if out is None:
+            noise = rng.standard_normal(x0.shape)
+            x_t = self.q_sample(x0, t, noise)
+            return x_t, t, noise
+        x_t, noise, scratch = out
+        rng.standard_normal(out=noise)
+        self.q_sample(x0, t, noise, out=x_t, scratch=scratch)
         return x_t, t, noise

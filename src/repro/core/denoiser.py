@@ -16,15 +16,46 @@ from repro import perf
 from repro.ml.nn import LayerNorm, Linear, Module, SiLU, Tensor
 
 
-def sinusoidal_time_embedding(t: np.ndarray, dim: int) -> np.ndarray:
-    """Transformer-style sinusoidal embedding of integer timesteps."""
+def sinusoidal_freqs(dim: int) -> np.ndarray:
+    """The constant frequency row of :func:`sinusoidal_time_embedding`.
+
+    Callers that embed every step (the compiled trainer) compute this
+    once and pass it back via ``freqs=``.
+    """
+    half = dim // 2
+    return np.exp(-np.log(10000.0) * np.arange(half) / max(half - 1, 1))
+
+
+def sinusoidal_time_embedding(
+    t: np.ndarray,
+    dim: int,
+    out: np.ndarray | None = None,
+    freqs: np.ndarray | None = None,
+    angles: np.ndarray | None = None,
+) -> np.ndarray:
+    """Transformer-style sinusoidal embedding of integer timesteps.
+
+    With ``out=`` the sin/cos halves are written directly into the given
+    ``(len(t), dim)`` float64 buffer — same values bitwise, no output
+    allocation; the compiled training engine threads its workspace here,
+    along with a precomputed ``freqs`` row (:func:`sinusoidal_freqs`)
+    and a ``(len(t), dim // 2)`` ``angles`` scratch.
+    """
     if dim % 2:
         raise ValueError("embedding dim must be even")
     t = np.asarray(t, dtype=np.float64).reshape(-1, 1)
     half = dim // 2
-    freqs = np.exp(-np.log(10000.0) * np.arange(half) / max(half - 1, 1))
-    angles = t * freqs[None, :]
-    return np.concatenate([np.sin(angles), np.cos(angles)], axis=1)
+    if freqs is None:
+        freqs = sinusoidal_freqs(dim)
+    if angles is None:
+        angles = t * freqs[None, :]
+    else:
+        np.multiply(t, freqs[None, :], out=angles)
+    if out is None:
+        return np.concatenate([np.sin(angles), np.cos(angles)], axis=1)
+    np.sin(angles, out=out[:, :half])
+    np.cos(angles, out=out[:, half:])
+    return out
 
 
 #: (timestep, dim, dtype str) -> read-only (1, dim) embedding row; DDIM

@@ -34,6 +34,7 @@ from repro.core.controlnet import (
     structure_mask,
 )
 from repro.core import infer as _infer
+from repro.core import train as _train
 from repro.core.ddim import DDIMSampler
 from repro.core.ddpm import GaussianDiffusion
 from repro.core.denoiser import ConditionalDenoiser
@@ -481,10 +482,77 @@ class TextToTrafficPipeline:
         )
         row_lens = mask_table.sum(axis=1).astype(np.int64)
         batch_size = min(cfg.batch_size, n)
+        # Compiled engine: walk the module tree once into a fused
+        # forward+backward+update plan (bitwise-identical fp64 losses
+        # and weights, same RNG stream).  Trees or optimizer states the
+        # compiler rejects — live LoRA adapters during add_class, a
+        # frozen-parameter mix — fall back to the eager tape below.
+        trainer = None
+        if _train.train_mode() == "compiled":
+            try:
+                with perf.timer("pipeline.compile_training"):
+                    trainer = _train.compile_training(
+                        self.denoiser,
+                        self.prompt_encoder,
+                        optimizer,
+                        controlnet=(
+                            self.controlnet
+                            if use_control and masks is not None
+                            else None
+                        ),
+                        ema=ema,
+                    )
+            except _train.CompileError:
+                perf.incr("train.fallback_eager")
+        if trainer is not None:
+            # Steady-state batch-prep buffers for the compiled branch:
+            # gathers and the forward-noising products write through
+            # these instead of allocating per step.  Values and the RNG
+            # stream are identical to the allocating expressions below.
+            dim = latents.shape[1]
+            b_x0 = np.empty((batch_size, dim))
+            b_xt = np.empty((batch_size, dim))
+            b_noise = np.empty((batch_size, dim))
+            b_scratch = np.empty((batch_size, dim))
+            b_rows = np.empty(batch_size, dtype=row_of.dtype)
+            b_ids = np.empty(
+                (batch_size, ids_table.shape[1]), dtype=ids_table.dtype
+            )
+            b_mask = np.empty(
+                (batch_size, mask_table.shape[1]), dtype=mask_table.dtype
+            )
+            b_masks = (
+                np.empty((batch_size, masks.shape[1]))
+                if use_control and masks is not None else None
+            )
         for step in range(steps):
             idx = self._rng.integers(0, n, size=batch_size)
-            x0 = latents[idx]
+            if trainer is not None:
+                x0 = latents.take(idx, axis=0, out=b_x0)
+            else:
+                x0 = latents[idx]
             dropped = self._rng.random(size=batch_size) < cfg.cond_dropout
+            if trainer is not None:
+                # == np.where(dropped, 0, row_of[idx]) without the temps.
+                rows = row_of.take(idx, out=b_rows)
+                rows[dropped] = 0
+                x_t, t, noise = self.diffusion.sample_training_batch(
+                    x0, self._rng, out=(b_xt, b_noise, b_scratch)
+                )
+                width = int(row_lens[rows].max())
+                history.append(trainer.step(
+                    x_t, t,
+                    ids_table.take(rows, axis=0, out=b_ids)[:, :width],
+                    mask_table.take(rows, axis=0, out=b_mask)[:, :width],
+                    noise,
+                    masks.take(idx, axis=0, out=b_masks)
+                    if b_masks is not None else None,
+                ))
+                if verbose and (step + 1) % 200 == 0:
+                    recent = float(np.mean(history[-200:]))
+                    print(f"[{tag}] step {step + 1}/{steps} "
+                          f"loss {recent:.4f}")
+                continue
             rows = np.where(dropped, 0, row_of[idx])
             x_t, t, noise = self.diffusion.sample_training_batch(x0, self._rng)
             # Legacy padded each batch to its own longest tokenisation;

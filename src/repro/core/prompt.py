@@ -20,6 +20,30 @@ from repro import perf
 from repro.ml.nn import Embedding, Module, Tensor
 
 
+def pooling_weights(
+    mask: np.ndarray,
+    out: np.ndarray | None = None,
+    sums: np.ndarray | None = None,
+) -> np.ndarray:
+    """Mean-pooling weights over real (non-pad) tokens of a mask batch.
+
+    ``mask / max(mask.sum(axis=1), 1)`` — each row sums to 1 over its real
+    tokens (pad columns stay 0).  ``out=`` / ``sums=`` thread ``(B, W)``
+    and ``(B, 1)`` workspaces so the compiled training engine computes
+    the same values with zero allocations.
+    """
+    if sums is None:
+        denom = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+    else:
+        mask.sum(axis=1, keepdims=True, out=sums)
+        np.maximum(sums, 1.0, out=sums)
+        denom = sums
+    if out is None:
+        return mask / denom
+    np.divide(mask, denom, out=out)
+    return out
+
+
 class Vocabulary:
     """Token <-> id mapping with append-only growth."""
 
@@ -165,7 +189,7 @@ class PromptEncoder(Module):
         """Encode pre-tokenised (ids, mask) rows — see :meth:`prompt_table`."""
         perf.incr("prompt_encoder.forward")
         embedded = self.embedding(batch)  # (B, W, dim)
-        weights = mask / np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        weights = pooling_weights(mask)
         # Mean over real (non-pad) tokens; the weights follow the table
         # dtype (identity cast on the float64 path) so float32 inference
         # does not promote back to float64.

@@ -13,6 +13,7 @@ finite-difference gradient checks in ``tests/test_autograd.py``.
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Sequence
 
 import numpy as np
@@ -49,7 +50,9 @@ class Tensor:
     integer/float64 input keep the original float64 behaviour bit-for-bit.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_parents", "_grad_buf"
+    )
     __array_priority__ = 100  # numpy defers to our __radd__ etc.
 
     def __init__(
@@ -67,6 +70,9 @@ class Tensor:
         self.requires_grad = requires_grad
         self._backward = _backward
         self._parents = tuple(_parents)
+        #: persistent first-accumulation buffer, reused across steps for
+        #: leaf parameters (refcount-guarded; see ``_accumulate``).
+        self._grad_buf: Array | None = None
 
     # -- bookkeeping -------------------------------------------------------
     @property
@@ -96,7 +102,24 @@ class Tensor:
     def _accumulate(self, grad: Array) -> None:
         grad = np.asarray(grad, dtype=np.float64)
         if self.grad is None:
-            self.grad = grad.copy()
+            # ``zero_grad`` only drops the reference; the buffer itself is
+            # kept and rewritten here, so steady-state training never
+            # reallocates parameter gradients.  A buffer is reusable iff
+            # its only references are the slot, the local binding and
+            # getrefcount's argument (== 3): callers still holding last
+            # step's ``p.grad`` get a fresh array instead.
+            buf = self._grad_buf
+            if (
+                buf is not None
+                and buf.shape == grad.shape
+                and sys.getrefcount(buf) == 3
+            ):
+                np.copyto(buf, grad)
+            else:
+                buf = self._grad_buf = grad.copy()
+            self.grad = buf
+        elif self.grad is self._grad_buf:
+            self.grad += grad  # owned buffer: in-place == self.grad + grad
         else:
             self.grad = self.grad + grad
 

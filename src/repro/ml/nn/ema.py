@@ -33,20 +33,36 @@ class ExponentialMovingAverage:
             name: p.data.copy() for name, p in module.named_parameters()
         }
         self._updates = 0
+        # (shape, dtype) -> scratch for the in-place update chain; filled
+        # lazily so construction allocates only the shadow copies.
+        self._scratch: dict[tuple, np.ndarray] = {}
 
     def update(self, module: Module) -> None:
-        """Fold the module's current parameters into the shadow."""
+        """Fold the module's current parameters into the shadow.
+
+        Runs as in-place ufuncs through a per-shape scratch — bitwise the
+        same trajectory as the allocating ``shadow += (1-d) * p`` form,
+        with zero allocations once the scratch pool is warm.
+        """
         perf.incr("ema.update")
         self._updates += 1
         # Warm-up correction keeps early averages close to the iterate.
         decay = min(self.decay, (1 + self._updates) / (10 + self._updates))
+        scratch = getattr(self, "_scratch", None)
+        if scratch is None:
+            scratch = self._scratch = {}
         for name, p in module.named_parameters():
             shadow = self._shadow.get(name)
             if shadow is None or shadow.shape != p.data.shape:
                 self._shadow[name] = p.data.copy()
                 continue
+            key = (p.data.shape, p.data.dtype.str)
+            buf = scratch.get(key)
+            if buf is None:
+                buf = scratch[key] = np.empty(p.data.shape, p.data.dtype)
             shadow *= decay
-            shadow += (1.0 - decay) * p.data
+            np.multiply(p.data, 1.0 - decay, out=buf)
+            shadow += buf
 
     def copy_to(self, module: Module) -> None:
         """Write the shadow parameters into the module."""

@@ -254,6 +254,7 @@ def cast_module(module: Module, dtype) -> Module:
         param.data = param.data.astype(dtype, copy=False)
         param.requires_grad = False
         param.grad = None
+        param._grad_buf = None  # drop the deep-copied float64 grad buffer
 
     def _reset_workspaces(mod: Module) -> None:
         # Deep-copied inference workspaces carry the source dtype; drop

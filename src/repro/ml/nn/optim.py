@@ -1,4 +1,11 @@
-"""Optimizers (SGD, Adam) and learning-rate schedules."""
+"""Optimizers (SGD, Adam) and learning-rate schedules.
+
+Updates run as in-place ufunc chains through per-shape scratch buffers:
+a step allocates nothing once the scratch pool is warm, and every chain
+replicates the legacy allocating expressions operation-for-operation
+(same operand order up to ufunc commutativity), so parameter trajectories
+stay bitwise-identical — pinned by ``tests/test_optim_inplace.py``.
+"""
 
 from __future__ import annotations
 
@@ -17,6 +24,17 @@ class Optimizer:
             raise ValueError("learning rate must be positive")
         self.params = list(params)
         self.lr = lr
+        # shape -> scratch ndarrays shared by every same-shape parameter;
+        # filled lazily so construction stays allocation-free.
+        self._scratch: dict[tuple[int, ...], list[np.ndarray]] = {}
+
+    def _scratch_for(self, shape: tuple[int, ...], count: int) -> list[np.ndarray]:
+        bufs = self._scratch.get(shape)
+        if bufs is None:
+            bufs = self._scratch[shape] = []
+        while len(bufs) < count:
+            bufs.append(np.empty(shape, dtype=np.float64))
+        return bufs
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -39,12 +57,15 @@ class SGD(Optimizer):
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
+            (s,) = self._scratch_for(p.data.shape, 1)
             if self.momentum:
                 v *= self.momentum
                 v += p.grad
-                p.data -= self.lr * v
+                # p.data -= lr * v, with the product landing in scratch.
+                np.multiply(v, self.lr, out=s)
             else:
-                p.data -= self.lr * p.grad
+                np.multiply(p.grad, self.lr, out=s)
+            np.subtract(p.data, s, out=p.data)
 
 
 class Adam(Optimizer):
@@ -69,16 +90,28 @@ class Adam(Optimizer):
         for p, m, v in zip(self.params, self._m, self._v):
             if p.grad is None:
                 continue
+            s1, s2 = self._scratch_for(p.data.shape, 2)
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                # grad + wd * p.data, staged through scratch.
+                np.multiply(p.data, self.weight_decay, out=s2)
+                np.add(grad, s2, out=s2)
+                grad = s2
             m *= b1
-            m += (1 - b1) * grad
+            np.multiply(grad, 1 - b1, out=s1)  # (1 - b1) * grad
+            m += s1
             v *= b2
-            v += (1 - b2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, 1 - b2, out=s1)  # ((1 - b2) * grad) * grad
+            np.multiply(s1, grad, out=s1)
+            v += s1
+            np.divide(m, bias1, out=s2)  # m_hat
+            np.divide(v, bias2, out=s1)  # v_hat
+            np.sqrt(s1, out=s1)
+            s1 += self.eps
+            # p.data -= lr * m_hat / (sqrt(v_hat) + eps)
+            np.multiply(s2, self.lr, out=s2)
+            np.divide(s2, s1, out=s2)
+            np.subtract(p.data, s2, out=p.data)
 
 
 class CosineWarmupSchedule:
